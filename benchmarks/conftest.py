@@ -1,0 +1,70 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation (§IV) — see DESIGN.md for the experiment index.
+
+Scaling
+-------
+The paper sweeps 1,000-10,000 roles/users; a full-size sweep of the
+pure-Python baselines takes hours, so the pytest benchmarks run the same
+workloads at ``REPRO_BENCH_SCALE`` times the paper sizes (default 0.1 —
+i.e. 100-1,000).  The *shape* — which method wins, growth rates, the
+exact/approximate crossover — is what these benchmarks assert and what
+EXPERIMENTS.md records.  Set ``REPRO_BENCH_SCALE=1.0`` (and plenty of
+patience) for paper-size runs, or use ``repro bench --experiment fig2
+--scale 1.0`` which prints the full series without pytest overhead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import MatrixSpec, generate_matrix
+
+#: Fraction of the paper's sweep sizes the benchmarks run at.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+#: The paper's sweep grid (both figures): 1,000 → 10,000 step 1,000.
+PAPER_GRID = list(range(1000, 10001, 1000))
+
+#: The paper's fixed other-axis size.
+PAPER_FIXED = 1000
+
+
+def scaled(value: int) -> int:
+    """A paper size scaled down to benchmark size (minimum 50)."""
+    return max(50, int(round(value * BENCH_SCALE)))
+
+
+def scaled_grid(step_subset: int = 1) -> list[int]:
+    """The scaled sweep grid (optionally every Nth point)."""
+    return sorted({scaled(v) for v in PAPER_GRID[::step_subset]})
+
+
+@pytest.fixture(scope="session")
+def matrix_cache():
+    """Session-wide cache of generated workload matrices.
+
+    Generation is excluded from every timed region; caching keeps the
+    overall benchmark wall-clock reasonable.
+    """
+    cache: dict[tuple, object] = {}
+
+    def get(n_roles: int, n_cols: int, differences: int = 0, seed: int = 0):
+        key = (n_roles, n_cols, differences, seed)
+        if key not in cache:
+            cache[key] = generate_matrix(
+                MatrixSpec(
+                    n_roles=n_roles,
+                    n_cols=n_cols,
+                    cluster_proportion=0.2,
+                    max_cluster_size=10,
+                    differences=differences,
+                    seed=seed,
+                )
+            )
+        return cache[key]
+
+    return get

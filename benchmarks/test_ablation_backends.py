@@ -1,0 +1,96 @@
+"""A1 — ablation: backend design choices (not a paper experiment).
+
+Quantifies two design decisions DESIGN.md calls out:
+
+* the custom co-occurrence algorithm vs the theoretically-minimal hash
+  grouping for the exact-duplicate sub-problem (hashing wins there, but
+  cannot handle similarity — the reason the paper built on co-occurrence
+  counts);
+* DBSCAN's neighbour-search backend: dense-row scans vs bit-packed
+  XOR/popcount kernels (same algorithm and output, lower constant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_FIXED, scaled
+from repro.core.grouping import make_group_finder
+
+N_ROLES = scaled(5000)
+N_USERS = scaled(PAPER_FIXED)
+
+
+@pytest.mark.benchmark(group="ablation-exact-duplicates")
+@pytest.mark.parametrize("finder_name", ["cooccurrence", "hash", "dbscan"])
+def test_exact_duplicate_backends(benchmark, matrix_cache, finder_name):
+    generated = matrix_cache(N_ROLES, N_USERS)
+    finder = make_group_finder(finder_name)
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert groups == generated.groups
+    benchmark.extra_info["n_groups"] = len(groups)
+
+
+@pytest.mark.benchmark(group="ablation-dbscan-backend")
+@pytest.mark.parametrize("backend", ["hamming", "bitpacked-hamming"])
+def test_dbscan_neighbor_backends(benchmark, matrix_cache, backend):
+    generated = matrix_cache(N_ROLES, N_USERS)
+    finder = make_group_finder("dbscan", backend=backend)
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert groups == generated.groups
+
+
+@pytest.mark.benchmark(group="ablation-similarity")
+@pytest.mark.parametrize("k", [1, 2])
+@pytest.mark.parametrize("finder_name", ["cooccurrence", "dbscan"])
+def test_similarity_threshold_cost(benchmark, matrix_cache, finder_name, k):
+    """Similarity detection (type 5) costs: the custom algorithm's edge
+    over DBSCAN must persist at k >= 1, where hashing is unavailable.
+
+    At benchmark scale the generated rows are tiny (density x columns is
+    only a few bits), so *accidental* distance-k pairs among filler rows
+    are possible; the exact-correctness contract here is therefore
+    containment of every planted group plus agreement between the two
+    exact methods, not equality with the planted list (see
+    ``GeneratedMatrix`` ground-truth notes).
+    """
+    generated = matrix_cache(N_ROLES, N_USERS, k)
+    finder = make_group_finder(finder_name)
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, k),
+        rounds=3,
+        iterations=1,
+    )
+    for planted in generated.groups:
+        assert any(set(planted) <= set(found) for found in groups)
+    reference = make_group_finder(
+        "dbscan" if finder_name == "cooccurrence" else "cooccurrence"
+    ).find_groups(generated.matrix, k)
+    assert groups == reference
+    benchmark.extra_info["n_groups"] = len(groups)
+
+
+@pytest.mark.benchmark(group="ablation-exact-duplicates")
+def test_exact_duplicate_lsh(benchmark, matrix_cache):
+    """The MinHash-LSH backend on the same k=0 workload (complete there)."""
+    generated = matrix_cache(N_ROLES, N_USERS)
+    finder = make_group_finder("lsh")
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert groups == generated.groups
+    benchmark.extra_info["n_groups"] = len(groups)

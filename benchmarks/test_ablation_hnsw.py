@@ -1,0 +1,78 @@
+"""A2 — ablation: HNSW parameter sensitivity (not a paper experiment).
+
+The paper uses library defaults for the approximate baseline.  This
+ablation shows what its two main knobs buy on the RBAC workload:
+
+* ``ef`` (beam width): recall rises with ef, query time rises with it;
+* ``m`` (graph degree): build time rises with m.
+
+Build and query phases are measured separately since the paper's
+observed behaviour (slow at small datasets, competitive at large) hinges
+on the build/query split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.ann import HNSWIndex
+
+N_POINTS = scaled(2000)
+N_DIMS = 200
+DENSITY = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(23)
+    data = (rng.random((N_POINTS, N_DIMS)) < DENSITY).astype(float)
+    # plant duplicate pairs so radius-0 recall is measurable
+    for i in range(0, N_POINTS // 10 * 2, 2):
+        data[i + 1] = data[i]
+    return data
+
+
+@pytest.mark.benchmark(group="ablation-hnsw-build")
+@pytest.mark.parametrize("m", [4, 16, 32])
+def test_build_time_vs_m(benchmark, workload, m):
+    def build():
+        index = HNSWIndex(
+            dim=workload.shape[1], metric="manhattan",
+            m=m, ef_construction=32, seed=0,
+        )
+        index.add_items(workload)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(index) == len(workload)
+
+
+@pytest.mark.benchmark(group="ablation-hnsw-query")
+@pytest.mark.parametrize("ef", [8, 32, 128])
+def test_query_time_and_recall_vs_ef(benchmark, workload, ef):
+    index = HNSWIndex(
+        dim=workload.shape[1], metric="manhattan",
+        m=16, ef_construction=64, seed=0,
+    )
+    index.add_items(workload)
+    queries = workload[: scaled(500)]
+
+    def run_queries():
+        found = 0
+        for qi, query in enumerate(queries):
+            hits = {n for n, _ in index.radius_search(query, 1e-6, ef=ef)}
+            hits.discard(qi)
+            found += bool(hits)
+        return found
+
+    found = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    # Recall over planted duplicate pairs within the queried prefix.
+    n_pairs_queried = sum(
+        1
+        for i in range(0, min(len(queries), N_POINTS // 10 * 2), 2)
+        if i + 1 < len(queries)
+    )
+    benchmark.extra_info["duplicates_found"] = found
+    benchmark.extra_info["duplicates_planted"] = n_pairs_queried * 2

@@ -1,0 +1,55 @@
+"""A7 — ablation: MinHash LSH parameters (extension).
+
+Counterpart to A2 for the second approximate backend: signature length
+drives build cost, and the band count moves the recall/candidate-noise
+S-curve.  Completeness at k=0 is asserted throughout (it holds by
+construction for any parameterisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_FIXED, scaled
+from repro.core.grouping import make_group_finder
+
+N_ROLES = scaled(5000)
+N_USERS = scaled(PAPER_FIXED)
+
+
+@pytest.mark.benchmark(group="ablation-lsh")
+@pytest.mark.parametrize("n_hashes,n_bands", [(32, 8), (64, 16), (128, 32)])
+def test_lsh_parameter_grid(benchmark, matrix_cache, n_hashes, n_bands):
+    generated = matrix_cache(N_ROLES, N_USERS)
+    finder = make_group_finder("lsh", n_hashes=n_hashes, n_bands=n_bands)
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert groups == generated.groups  # complete at k=0 regardless
+    benchmark.extra_info["n_groups"] = len(groups)
+
+
+@pytest.mark.benchmark(group="ablation-lsh-similarity")
+@pytest.mark.parametrize("k", [1, 2])
+def test_lsh_similarity_recall(benchmark, matrix_cache, k):
+    """Recall on planted similar clusters at realistic overlap."""
+    generated = matrix_cache(N_ROLES, N_USERS, k)
+    finder = make_group_finder("lsh")
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, k),
+        rounds=3,
+        iterations=1,
+    )
+    exact = make_group_finder("cooccurrence").find_groups(
+        generated.matrix, k
+    )
+    # soundness
+    for group in groups:
+        assert any(set(group) <= set(component) for component in exact)
+    found = sum(len(g) for g in groups)
+    truth = sum(len(g) for g in exact)
+    benchmark.extra_info["recall_roles"] = found / truth if truth else 1.0

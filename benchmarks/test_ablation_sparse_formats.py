@@ -1,0 +1,67 @@
+"""A3 — ablation: sparse-matrix format for the co-occurrence kernel.
+
+The paper notes (§III-B) that sparse storage could further shrink
+RUAM/RPAM but that "the type of sparse matrix should be chosen
+considering other factors, such as conversion time, based on the
+experimental evaluation".  This benchmark is that evaluation: it times
+the ``M @ M.T`` product per format and the dense→format conversion,
+confirming CSR/CSC as the only viable algebra formats (COO falls back to
+CSR internally; LIL is catastrophically slower and excluded from the
+timed grid — see ``tests/bitmatrix/test_formats.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+import scipy.sparse as sp
+
+from benchmarks.conftest import PAPER_FIXED, scaled
+
+N_ROLES = scaled(5000)
+N_USERS = scaled(PAPER_FIXED)
+
+FORMATS = ("csr", "csc", "coo")
+
+
+@pytest.mark.benchmark(group="ablation-sparse-product")
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_cooccurrence_product_per_format(benchmark, matrix_cache, fmt):
+    generated = matrix_cache(N_ROLES, N_USERS)
+    converted = getattr(generated.matrix, f"to{fmt}")()
+
+    result = benchmark.pedantic(
+        lambda: converted @ converted.T,
+        rounds=5,
+        iterations=1,
+    )
+    assert result.shape == (N_ROLES, N_ROLES)
+
+
+@pytest.mark.benchmark(group="ablation-sparse-conversion")
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_dense_to_format_conversion(benchmark, matrix_cache, fmt):
+    generated = matrix_cache(N_ROLES, N_USERS)
+    dense = generated.dense
+
+    converted = benchmark.pedantic(
+        lambda: getattr(sp, f"{fmt}_matrix")(dense),
+        rounds=5,
+        iterations=1,
+    )
+    assert converted.nnz == generated.matrix.nnz
+
+
+@pytest.mark.benchmark(group="ablation-sparse-recommend")
+def test_recommendation_helper(benchmark, matrix_cache):
+    """The library's ``recommend_format`` helper end-to-end."""
+    from repro.bitmatrix import recommend_format
+
+    generated = matrix_cache(N_ROLES, N_USERS)
+    choice = benchmark.pedantic(
+        recommend_format,
+        args=(generated.matrix,),
+        kwargs={"repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert choice in FORMATS

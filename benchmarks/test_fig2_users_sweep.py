@@ -1,0 +1,77 @@
+"""Figure 2 — duration vs number of users (roles fixed).
+
+Paper setup: 1,000 roles, users swept 1,000 → 10,000, cluster proportion
+0.2, max 10 identical roles per cluster, 5 runs per point.  Reported
+shape: all three methods are nearly flat in the user count; approximate
+clustering (HNSW) is slowest (index build dominates), exact clustering
+(DBSCAN) mid, the custom co-occurrence algorithm fastest by an order of
+magnitude.
+
+The sweep runs at ``REPRO_BENCH_SCALE`` of paper sizes (see conftest);
+the HNSW baseline only runs at the two smallest sizes because a
+pure-Python index build at every point would dominate the suite without
+changing the observed shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_FIXED, scaled, scaled_grid
+from repro.core.grouping import make_group_finder
+
+N_ROLES = scaled(PAPER_FIXED)
+USER_GRID = scaled_grid()
+HNSW_GRID = USER_GRID[:2]
+
+
+@pytest.mark.benchmark(group="fig2-users-sweep")
+@pytest.mark.parametrize("n_users", USER_GRID)
+def test_custom_cooccurrence(benchmark, matrix_cache, n_users):
+    generated = matrix_cache(N_ROLES, n_users)
+    finder = make_group_finder("cooccurrence")
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=5,
+        iterations=1,
+    )
+    assert groups == generated.groups  # exact: full ground truth
+    benchmark.extra_info["n_groups"] = len(groups)
+
+
+@pytest.mark.benchmark(group="fig2-users-sweep")
+@pytest.mark.parametrize("n_users", USER_GRID)
+def test_exact_dbscan(benchmark, matrix_cache, n_users):
+    generated = matrix_cache(N_ROLES, n_users)
+    finder = make_group_finder("dbscan")
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert groups == generated.groups  # exact: full ground truth
+    benchmark.extra_info["n_groups"] = len(groups)
+
+
+@pytest.mark.benchmark(group="fig2-users-sweep")
+@pytest.mark.parametrize("n_users", HNSW_GRID)
+def test_approximate_hnsw(benchmark, matrix_cache, n_users):
+    generated = matrix_cache(N_ROLES, n_users)
+    finder = make_group_finder("hnsw", ef_construction=32, ef_search=32)
+    groups = benchmark.pedantic(
+        finder.find_groups,
+        args=(generated.matrix, 0),
+        rounds=1,
+        iterations=1,
+    )
+    # Approximate: sound (groups of true duplicates) but possibly
+    # incomplete — the trade-off the paper evaluates.
+    true_groups = {tuple(g) for g in generated.groups}
+    for group in groups:
+        assert any(set(group) <= set(t) for t in true_groups)
+    benchmark.extra_info["n_groups"] = len(groups)
+    benchmark.extra_info["recall_groups"] = (
+        len(groups) / len(generated.groups) if generated.groups else 1.0
+    )

@@ -1,0 +1,63 @@
+"""Anonymised dataset sharing — the workflow behind the paper's §IV-B.
+
+The paper cannot publish its real dataset; it reports anonymised,
+order-of-magnitude aggregates instead.  This example shows the same
+workflow with the library: pseudonymise a dataset with a keyed HMAC
+(structure preserved exactly, identities unlinkable without the key),
+export it to JSON, and demonstrate that an external analyst working only
+on the shared file reaches the *identical* findings.
+
+Run with::
+
+    python examples/anonymized_sharing.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import analyze
+from repro.datagen import DepartmentProfile, generate_departmental_org
+from repro.io import anonymize, load_json, save_json
+
+
+def main() -> None:
+    # --- inside the organisation -----------------------------------------
+    internal = generate_departmental_org(DepartmentProfile(seed=12))
+    internal_report = analyze(internal)
+    print(f"internal dataset: {internal}")
+    print("internal findings:")
+    for key, value in internal_report.counts().items():
+        print(f"  {key:<28} {value:>6}")
+
+    shared = anonymize(internal, key="rotate-me-quarterly")
+    sample = shared.role_ids()[0]
+    print(f"\npseudonymised ids look like: {sample!r}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "shared-dataset.json"
+        save_json(shared, path, indent=None)
+        print(f"exported anonymised dataset ({path.stat().st_size} bytes)")
+
+        # --- at the external analyst -------------------------------------
+        received = load_json(path)
+        external_report = analyze(received)
+
+    assert external_report.counts() == internal_report.counts()
+    print(
+        "\nexternal analyst reproduces every count exactly — structure "
+        "is fully preserved, identities are not ✔"
+    )
+
+    # Same key → same pseudonyms (stable across quarterly exports);
+    # different key → unlinkable.
+    again = anonymize(internal, key="rotate-me-quarterly")
+    rekeyed = anonymize(internal, key="next-quarter")
+    assert set(again.role_ids()) == set(shared.role_ids())
+    assert set(rekeyed.role_ids()) != set(shared.role_ids())
+    print("pseudonyms are stable per key and unlinkable across keys ✔")
+
+
+if __name__ == "__main__":
+    main()

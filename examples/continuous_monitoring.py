@@ -1,0 +1,84 @@
+"""Continuous monitoring: incremental detection between periodic audits.
+
+The paper's framework runs as a periodic batch job.  Between runs, IAM
+systems keep mutating — and each mutation touches exactly one role's
+row, so inefficiency state can be kept current *incrementally*.  This
+example simulates a quarter of IAM churn against an
+:class:`~repro.core.incremental.IncrementalAuditor`:
+
+* every mutation updates the duplicate buckets and similarity graph in
+  time proportional to the change;
+* at "quarter end" the incremental counts are cross-checked against a
+  full batch analysis (they always agree — the test suite proves it);
+* the two batch reports are diffed to produce the reviewer's delta.
+
+Run with::
+
+    python examples/continuous_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import analyze
+from repro.core import Axis, IncrementalAuditor, diff_reports
+from repro.datagen import DepartmentProfile, generate_departmental_org
+
+
+def main() -> None:
+    state = generate_departmental_org(DepartmentProfile(seed=21))
+    print(f"initial organisation: {state}")
+
+    opening_report = analyze(state)
+    auditor = IncrementalAuditor(state)
+    assert auditor.counts() == opening_report.counts()
+    print(f"opening duplicate roles (users axis): "
+          f"{auditor.counts()['roles_same_users']}")
+
+    # --- a quarter of churn -------------------------------------------
+    rng = np.random.default_rng(99)
+    roles = auditor.state.role_ids()
+    users = auditor.state.user_ids()
+    events = 0
+
+    # new joiners get existing roles
+    for i in range(25):
+        user_id = f"joiner-{i:03d}"
+        auditor.add_user(user_id)
+        auditor.assign_user(str(rng.choice(roles)), user_id)
+        events += 2
+
+    # a team clones a role instead of reusing it (classic drift)
+    template = str(rng.choice(roles))
+    auditor.add_role("q3-temp-access")
+    for user_id in auditor.state.users_of_role(template):
+        auditor.assign_user("q3-temp-access", user_id)
+        events += 1
+    for permission_id in auditor.state.permissions_of_role(template):
+        auditor.assign_permission("q3-temp-access", permission_id)
+        events += 1
+    print(
+        f"after cloning {template!r}: it now sits in duplicate groups "
+        f"{[g for g in auditor.duplicate_groups(Axis.USERS) if template in g]}"
+    )
+
+    # leavers are revoked everywhere
+    for user_id in list(users[:10]):
+        auditor.remove_user(user_id)
+        events += 1
+
+    print(f"processed {events}+ mutation events incrementally")
+
+    # --- quarter-end audit ----------------------------------------------
+    closing_counts = auditor.counts()
+    closing_report = analyze(auditor.state)
+    assert closing_counts == closing_report.counts()
+    print("incremental counts match a fresh batch analysis ✔\n")
+
+    delta = diff_reports(opening_report, closing_report)
+    print(delta.to_text(max_listed=5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Enterprise audit: the paper's §IV-B real-organisation experiment.
+
+Generates the synthetic stand-in for the paper's proprietary dataset (a
+scaled-down organisation with every inefficiency type planted in the
+paper's proportions), runs the full analysis with the custom
+co-occurrence algorithm, and prints the planted-vs-measured-vs-paper
+table plus the consolidation headline.
+
+Scale is controlled with ``--scale-divisor`` (default 50, i.e. 1/50 of
+the paper's ~90k users / ~50k roles / ~350k permissions; pass 1 for the
+full-size run, which takes a few minutes and a few GB of RAM).
+
+Run with::
+
+    python examples/enterprise_audit.py [--scale-divisor 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchharness import render_real_dataset_table, run_real_dataset
+from repro.datagen import OrgProfile, PlantedCounts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-divisor", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    if args.scale_divisor == 1:
+        profile = OrgProfile.paper_scale(seed=args.seed)
+    else:
+        profile = OrgProfile.small(divisor=args.scale_divisor, seed=args.seed)
+
+    print(
+        f"generating organisation: {profile.n_users} users, "
+        f"{profile.n_roles} roles, {profile.n_permissions} permissions …"
+    )
+    result = run_real_dataset(profile, finder="cooccurrence")
+
+    print()
+    print(
+        render_real_dataset_table(
+            result, paper_counts=PlantedCounts().as_dict()
+        )
+    )
+
+    print("\nper-detector timings:")
+    for detector, seconds in result.detector_timings.items():
+        print(f"  {detector:<26} {seconds:8.3f} s")
+
+    mismatches = [
+        metric
+        for metric, expected, measured in result.count_rows()
+        if expected != measured
+    ]
+    if mismatches:
+        raise SystemExit(f"planted-vs-measured mismatch in: {mismatches}")
+    print("\nall planted inefficiencies detected exactly ✔")
+
+
+if __name__ == "__main__":
+    main()

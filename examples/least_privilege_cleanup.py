@@ -1,0 +1,95 @@
+"""Least-privilege cleanup: the paper's §IV-B future work, implemented.
+
+The paper reports 21,000 single-permission roles in its real dataset and
+notes that "the approach for consolidating roles related to [that]
+inefficiency still needs to be developed."  The shadowed-role extension
+(`InefficiencyType.SHADOWED_ROLE`) is the provably-safe core of such an
+approach: a role whose users AND permissions are both subsets of another
+role's can be deleted without changing anyone's effective access.
+
+This example builds an organisation where teams minted narrow one-off
+roles alongside their broader team roles (the classic source of
+single-permission bloat), detects the shadowed ones, applies the
+cleanup, and proves the safety property explicitly.
+
+Run with::
+
+    python examples/least_privilege_cleanup.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RbacState, analyze
+from repro.core import AnalysisConfig, InefficiencyType
+from repro.remediation import build_plan, run_to_fixed_point
+
+
+def build_bloated_org(seed: int = 5) -> RbacState:
+    """Teams with broad roles plus narrow one-off roles inside them."""
+    rng = np.random.default_rng(seed)
+    state = RbacState()
+    for i in range(120):
+        state.add_user(f"user-{i:03d}")
+    for i in range(60):
+        state.add_permission(f"perm-{i:03d}")
+
+    for team in range(6):
+        members = [f"user-{i:03d}" for i in range(team * 20, team * 20 + 20)]
+        grants = [f"perm-{i:03d}" for i in range(team * 10, team * 10 + 10)]
+        team_role = f"team-{team}"
+        state.add_role(team_role)
+        for user_id in members:
+            state.assign_user(team_role, user_id)
+        for permission_id in grants:
+            state.assign_permission(team_role, permission_id)
+
+        # narrow one-off roles: a few team members, one team permission —
+        # fully shadowed by the team role.
+        for one_off in range(3):
+            role_id = f"team-{team}-oneoff-{one_off}"
+            state.add_role(role_id)
+            for user_id in rng.choice(members, size=3, replace=False):
+                state.assign_user(role_id, str(user_id))
+            state.assign_permission(role_id, str(rng.choice(grants)))
+    return state
+
+
+def main() -> None:
+    state = build_bloated_org()
+    print(f"organisation with one-off role bloat: {state}\n")
+
+    config = AnalysisConfig.with_extensions()
+    report = analyze(state, config)
+    shadowed = report.of_type(InefficiencyType.SHADOWED_ROLE)
+    single_permission = report.counts()["single_permission_roles"]
+    print(f"single-permission roles:   {single_permission}")
+    print(f"shadowed roles detected:   {len(shadowed)}")
+    for finding in shadowed[:4]:
+        print(f"  {finding.message}")
+    print("  …\n")
+
+    plan = build_plan(report)
+    print(f"plan: {len(plan.actions)} actions "
+          f"({plan.n_role_removals} role removals)")
+
+    result = run_to_fixed_point(state, config=config)
+    print(result.describe())
+
+    # the safety property, spelled out
+    for user_id in result.final_state.user_ids():
+        assert result.final_state.effective_permissions(
+            user_id
+        ) == state.effective_permissions(user_id)
+    print("\nno user gained or lost a single permission ✔")
+
+    after = analyze(result.final_state, config)
+    print(
+        "single-permission roles after cleanup: "
+        f"{after.counts()['single_permission_roles']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

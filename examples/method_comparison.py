@@ -1,0 +1,69 @@
+"""Method comparison: miniature versions of the paper's Figures 2 and 3.
+
+Runs the three group-finding approaches — exact clustering (DBSCAN),
+approximate clustering (HNSW), and the custom co-occurrence algorithm —
+over the paper's synthetic workload (cluster proportion 0.2, at most 10
+identical roles per cluster, 5 repetitions per point) and prints both
+duration series.  Sizes default to 1/10 of the paper's 1,000-10,000
+sweep so the script finishes in about a minute; pass ``--scale 1.0`` to
+reproduce the full figures (hours: the baselines are pure Python).
+
+Run with::
+
+    python examples/method_comparison.py [--scale 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchharness import (
+    render_series_table,
+    run_roles_sweep,
+    run_users_sweep,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--skip-hnsw",
+        action="store_true",
+        help="skip the slow pure-Python approximate baseline",
+    )
+    args = parser.parse_args()
+
+    sizes = sorted(
+        {max(50, int(round(n * args.scale))) for n in range(1000, 10001, 3000)}
+    )
+    fixed = max(50, int(round(1000 * args.scale)))
+    methods = (
+        ("dbscan", "cooccurrence")
+        if args.skip_hnsw
+        else ("dbscan", "hnsw", "cooccurrence")
+    )
+
+    print("=== Figure 2 (duration vs users) ===")
+    fig2 = run_users_sweep(
+        sizes, n_roles=fixed, methods=methods, repeats=args.repeats
+    )
+    print(render_series_table(fig2))
+
+    print("\n=== Figure 3 (duration vs roles) ===")
+    fig3 = run_roles_sweep(
+        sizes, n_users=fixed, methods=methods, repeats=args.repeats
+    )
+    print(render_series_table(fig3))
+
+    custom = fig3.series("cooccurrence")[-1].stats.mean
+    exact = fig3.series("dbscan")[-1].stats.mean
+    print(
+        f"\nat {fig3.series('dbscan')[-1].x} roles the custom algorithm is "
+        f"{exact / max(custom, 1e-9):.0f}x faster than exact clustering"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Mining vs consolidation: the paper's §II positioning, measured.
+
+Role *mining* (Vaidya et al., CCS 2006) invents a new role set from the
+user-permission assignment; the paper instead *combines existing roles*
+without granting anything new.  This example runs both on the same
+drifted organisation and contrasts:
+
+* how many roles each approach ends with;
+* whether surviving role definitions are ones auditors already know
+  (consolidation: always; mining: almost never);
+* the safety property (consolidation proves effective access unchanged;
+  mined covers can under-approximate when the role budget is tight).
+
+Run with::
+
+    python examples/mining_vs_consolidation.py
+"""
+
+from __future__ import annotations
+
+from repro import analyze
+from repro.datagen import DepartmentProfile, generate_departmental_org
+from repro.mining import greedy_role_cover, mine_candidate_roles
+from repro.remediation import build_plan, measure_reduction, run_to_fixed_point
+
+
+def main() -> None:
+    state = generate_departmental_org(
+        DepartmentProfile(n_departments=6, n_users=300, seed=17)
+    )
+    print(f"drifted organisation: {state}\n")
+
+    # --- the paper's approach: consolidate existing roles ----------------
+    result = run_to_fixed_point(state)
+    reduction = result.reduction
+    print("consolidation (this paper's approach):")
+    print(f"  {reduction.describe()}")
+    original_definitions = {
+        state.permissions_of_role(role_id) for role_id in state.role_ids()
+    }
+    print("  every user's effective access: provably unchanged ✔")
+
+    # --- the related-work approach: mine a new role set ------------------
+    candidates = mine_candidate_roles(state, max_candidates=200_000)
+    print(f"\nmining (bottom-up baseline):")
+    print(f"  candidate roles generated: {len(candidates)}")
+    cover = greedy_role_cover(
+        state, max_roles=result.final_state.n_roles, candidates=candidates
+    )
+    print(
+        f"  greedy cover with the same role budget "
+        f"({result.final_state.n_roles} roles): "
+        f"{cover.coverage:.1%} of UPA cells covered"
+    )
+    full_cover = greedy_role_cover(state, candidates=candidates)
+    print(
+        f"  roles needed for full coverage: {full_cover.n_roles} "
+        f"(all with brand-new definitions auditors must re-certify)"
+    )
+
+    novel = sum(
+        1
+        for role in full_cover.selected
+        if role.permissions not in original_definitions
+    )
+    print(
+        f"  mined definitions matching an existing role: "
+        f"{full_cover.n_roles - novel} of {full_cover.n_roles}"
+    )
+    print(
+        "\nthe paper's point in one line: consolidation reaches "
+        f"{reduction.roles_after} familiar roles with exactness guaranteed, "
+        "while mining rebuilds the catalogue from scratch."
+    )
+
+
+if __name__ == "__main__":
+    main()

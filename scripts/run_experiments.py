@@ -1,0 +1,51 @@
+"""Run the paper experiments at a recordable scale and save the series.
+
+Produces the measured data EXPERIMENTS.md reports:
+  results/fig2.csv, results/fig3.csv, results/real.txt
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.benchharness import (
+    render_real_dataset_table,
+    render_series_csv,
+    render_series_table,
+    run_real_dataset,
+    run_roles_sweep,
+    run_users_sweep,
+)
+from repro.datagen import OrgProfile, PlantedCounts
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "results"
+OUT.mkdir(exist_ok=True)
+
+SCALE = 0.2
+SIZES = [int(n * SCALE) for n in range(1000, 10001, 1000)]
+FIXED = int(1000 * SCALE)
+METHODS = ("dbscan", "hnsw", "cooccurrence")
+
+start = time.time()
+print("fig2 ...", flush=True)
+fig2 = run_users_sweep(SIZES, n_roles=FIXED, methods=METHODS, repeats=3)
+(OUT / "fig2.csv").write_text(render_series_csv(fig2))
+(OUT / "fig2.txt").write_text(render_series_table(fig2))
+print(f"fig2 done in {time.time()-start:.0f}s", flush=True)
+
+start = time.time()
+print("fig3 ...", flush=True)
+fig3 = run_roles_sweep(SIZES, n_users=FIXED, methods=METHODS, repeats=3)
+(OUT / "fig3.csv").write_text(render_series_csv(fig3))
+(OUT / "fig3.txt").write_text(render_series_table(fig3))
+print(f"fig3 done in {time.time()-start:.0f}s", flush=True)
+
+start = time.time()
+print("real ...", flush=True)
+real = run_real_dataset(OrgProfile.small(divisor=10, seed=3))
+(OUT / "real.txt").write_text(
+    render_real_dataset_table(real, paper_counts=PlantedCounts().as_dict())
+)
+print(f"real done in {time.time()-start:.0f}s", flush=True)
+print("ALL DONE", flush=True)

@@ -1,0 +1,131 @@
+"""One-shot reproduction checklist.
+
+Runs an assertion per paper claim (E1-E5 of EXPERIMENTS.md) at quick
+scale and prints a ✔/✘ checklist.  Exit code 0 iff everything holds.
+
+    python scripts/verify_reproduction.py [--deep]
+
+``--deep`` additionally runs the E4/E5 experiment at 1/10 paper scale
+(~1 minute) instead of 1/100.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def check(label, fn):
+    start = time.time()
+    try:
+        fn()
+    except Exception as error:  # noqa: BLE001 - checklist boundary
+        print(f"  ✘ {label}  ({error})")
+        return False
+    print(f"  ✔ {label}  ({time.time() - start:.1f}s)")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--deep", action="store_true")
+    args = parser.parse_args()
+    divisor = 10 if args.deep else 100
+
+    from repro import analyze
+    from repro.benchharness import run_real_dataset
+    from repro.bitmatrix import cooccurrence
+    from repro.core import AnalysisConfig, AssignmentMatrix
+    from repro.core.grouping import make_group_finder
+    from repro.datagen import MatrixSpec, OrgProfile, generate_matrix, generate_org
+
+    results = []
+    print("E1 — Figure 1 worked example")
+
+    def e1():
+        sys.path.insert(0, "examples")
+        from quickstart import build_figure_1_example
+
+        state = build_figure_1_example()
+        counts = analyze(state).counts()
+        assert counts["standalone_permissions"] == 1  # P01
+        assert counts["roles_without_users"] == 1  # R03
+        assert counts["roles_without_permissions"] == 1  # R02
+        assert counts["single_user_roles"] == 2  # R01, R05
+        assert counts["roles_same_users"] == 2  # R02+R04
+        assert counts["roles_same_permissions"] == 2  # R04+R05
+        matrix = cooccurrence(AssignmentMatrix.ruam(state).csr).toarray()
+        assert matrix.tolist() == [
+            [1, 0, 0, 0, 0], [0, 2, 0, 2, 0], [0, 0, 0, 0, 0],
+            [0, 2, 0, 2, 0], [0, 0, 0, 0, 1],
+        ]
+
+    results.append(check("every Figure-1 inefficiency detected; C matches §III-C", e1))
+
+    print("E2/E3 — method agreement and ranking on the §IV-A workload")
+
+    def e23():
+        generated = generate_matrix(
+            MatrixSpec(n_roles=400, n_cols=200, seed=0)
+        )
+        custom = make_group_finder("cooccurrence")
+        exact = make_group_finder("dbscan")
+        assert custom.find_groups(generated.matrix, 0) == generated.groups
+        assert exact.find_groups(generated.matrix, 0) == generated.groups
+        t0 = time.time(); custom.find_groups(generated.matrix, 0)
+        custom_s = time.time() - t0
+        t0 = time.time(); exact.find_groups(generated.matrix, 0)
+        exact_s = time.time() - t0
+        assert exact_s > 2 * custom_s, (
+            f"expected custom ≪ exact, got {custom_s:.4f}s vs {exact_s:.4f}s"
+        )
+
+    results.append(check("custom = exact on ground truth, and faster", e23))
+
+    print(f"E4 — planted real-organisation counts (1/{divisor} scale)")
+    real_holder = {}
+
+    def e4():
+        real = run_real_dataset(
+            OrgProfile.small(divisor=divisor, seed=3), finder="cooccurrence"
+        )
+        real_holder["real"] = real
+        assert real.measured_counts == real.expected_counts
+
+    results.append(check("all ten planted counts recovered exactly", e4))
+
+    print("E5 — the ~10% consolidation headline")
+
+    def e5():
+        real = real_holder["real"]
+        fraction = real.consolidation["fraction_of_roles"]
+        assert abs(fraction - 0.10) < 0.005, f"got {fraction:.3f}"
+
+    results.append(check("duplicate-group consolidation ≈ 10% of roles", e5))
+
+    print("Safety — remediation never changes effective access")
+
+    def safety():
+        from repro.datagen import DepartmentProfile, generate_departmental_org
+        from repro.remediation import run_to_fixed_point
+
+        state = generate_departmental_org(DepartmentProfile(seed=3))
+        result = run_to_fixed_point(
+            state, config=AnalysisConfig.with_extensions()
+        )
+        assert result.converged
+        for user_id in result.final_state.user_ids():
+            assert result.final_state.effective_permissions(
+                user_id
+            ) == state.effective_permissions(user_id)
+
+    results.append(check("fixed-point cleanup provably access-preserving", safety))
+
+    passed = sum(results)
+    print(f"\n{passed}/{len(results)} reproduction checks passed")
+    return 0 if passed == len(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+``pip install -e .`` uses PEP 660 editable wheels, which require the
+``wheel`` package; fully-offline environments without it can fall back
+to ``python setup.py develop`` (or simply add ``src/`` to a ``.pth``
+file).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

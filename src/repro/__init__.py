@@ -1,0 +1,79 @@
+"""repro — IAM Role Diet: detection of RBAC data inefficiencies.
+
+A reproduction of *"IAM Role Diet: A Scalable Approach to Detecting RBAC
+Data Inefficiencies"* (Moratore, Barbaro, Zhauniarovich — DSN-S 2025).
+
+Quickstart
+----------
+>>> from repro import RbacState, analyze
+>>> state = RbacState.build(
+...     users=["u1", "u2"],
+...     roles=["r1", "r2"],
+...     permissions=["p1"],
+...     user_assignments=[("r1", "u1"), ("r2", "u1")],
+...     permission_assignments=[("r1", "p1"), ("r2", "p1")],
+... )
+>>> report = analyze(state)
+>>> report.counts()["roles_same_users"]
+2
+
+See :mod:`repro.core` for the data model and detectors,
+:mod:`repro.datagen` for synthetic datasets, :mod:`repro.remediation` for
+consolidation planning, and :mod:`repro.benchharness` for the paper's
+experiments.
+"""
+
+from repro.core import (
+    AnalysisConfig,
+    AnalysisEngine,
+    AssignmentMatrix,
+    Axis,
+    Finding,
+    InefficiencyType,
+    Permission,
+    RbacState,
+    Report,
+    Role,
+    RoleGroup,
+    Severity,
+    User,
+    analyze,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    DuplicateEntityError,
+    RemediationError,
+    ReproError,
+    SafetyViolationError,
+    UnknownEntityError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisEngine",
+    "AssignmentMatrix",
+    "Axis",
+    "ConfigurationError",
+    "DataFormatError",
+    "DuplicateEntityError",
+    "Finding",
+    "InefficiencyType",
+    "Permission",
+    "RbacState",
+    "RemediationError",
+    "Report",
+    "ReproError",
+    "Role",
+    "RoleGroup",
+    "SafetyViolationError",
+    "Severity",
+    "UnknownEntityError",
+    "User",
+    "ValidationError",
+    "analyze",
+    "__version__",
+]

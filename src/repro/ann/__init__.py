@@ -1,0 +1,22 @@
+"""From-scratch approximate-nearest-neighbour substrate.
+
+The paper's *approximate clustering* baseline builds a Hierarchical
+Navigable Small World (HNSW) index (Malkov & Yashunin, 2018) over the role
+vectors — via the ``datasketch`` library — and queries it once per role.
+``datasketch`` is not installable offline, so :mod:`repro.ann.hnsw`
+implements the published algorithm directly:
+
+* multi-layer proximity graph with geometric level sampling;
+* greedy descent through upper layers, ef-bounded best-first ("beam")
+  search at the target layer;
+* Algorithm-4 neighbour selection heuristic with bidirectional linking and
+  degree pruning on insert.
+
+The implementation preserves the performance *shape* the paper measures:
+a large index-construction constant, amortised by fast queries as the
+number of points grows, with recall that may be below 1.
+"""
+
+from repro.ann.hnsw import HNSWIndex
+
+__all__ = ["HNSWIndex"]

@@ -1,0 +1,319 @@
+"""Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2018).
+
+A pure-Python/numpy implementation of the HNSW approximate nearest
+neighbour index.  The structure is a stack of proximity graphs: every point
+lives on layer 0; each point additionally appears on higher layers with
+geometrically decaying probability.  Search descends greedily from the top
+layer entry point, then runs an ``ef``-bounded best-first search on layer 0.
+
+Algorithm numbers in comments refer to the paper:
+
+* Algorithm 1 — ``add`` (insert)
+* Algorithm 2 — ``_search_layer`` (ef-bounded layer search)
+* Algorithm 4 — ``_select_neighbors_heuristic``
+* Algorithm 5 — ``search`` (k-NN query)
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.cluster.distances import DistanceFn, resolve_metric
+from repro.exceptions import ConfigurationError
+
+
+class HNSWIndex:
+    """An HNSW approximate nearest-neighbour index.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of indexed vectors.
+    metric:
+        Metric name (see :data:`repro.cluster.distances.METRICS`) or a
+        callable ``f(block, query) -> distances``.
+    m:
+        Target out-degree on layers above 0 (the paper's ``M``).  Layer 0
+        allows ``2 * m`` links, as recommended.
+    ef_construction:
+        Beam width used while inserting points.
+    seed:
+        Seed for the level-sampling RNG; fixing it makes index construction
+        deterministic.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str | DistanceFn = "manhattan",
+        m: int = 16,
+        ef_construction: int = 200,
+        seed: int | None = 0,
+    ) -> None:
+        if dim <= 0:
+            raise ConfigurationError(f"dim must be positive, got {dim}")
+        if m < 2:
+            raise ConfigurationError(f"m must be >= 2, got {m}")
+        if ef_construction < 1:
+            raise ConfigurationError(
+                f"ef_construction must be >= 1, got {ef_construction}"
+            )
+        self.dim = int(dim)
+        self.m = int(m)
+        self.m_max0 = 2 * self.m
+        self.ef_construction = int(ef_construction)
+        self._metric = resolve_metric(metric)
+        self._level_mult = 1.0 / math.log(self.m)
+        self._rng = random.Random(seed)
+
+        self._vectors: list[npt.NDArray[np.float64]] = []
+        # _links[level][node] -> list of neighbour ids; one dict per level.
+        self._links: list[dict[int, list[int]]] = []
+        self._node_level: list[int] = []
+        self._entry_point: int | None = None
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def max_level(self) -> int:
+        """Highest layer currently in use (-1 when empty)."""
+        return len(self._links) - 1
+
+    # ------------------------------------------------------------------
+    # Distance helpers
+    # ------------------------------------------------------------------
+    def _distance(self, query: npt.NDArray[np.float64], node: int) -> float:
+        block = self._vectors[node][None, :]
+        return float(self._metric(block, query)[0])
+
+    def _distances(
+        self, query: npt.NDArray[np.float64], nodes: Sequence[int]
+    ) -> npt.NDArray[np.float64]:
+        block = np.stack([self._vectors[node] for node in nodes])
+        return self._metric(block, query)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, vector: npt.ArrayLike) -> int:
+        """Insert a vector; returns its integer id (Algorithm 1)."""
+        point = np.asarray(vector, dtype=np.float64).ravel()
+        if point.shape != (self.dim,):
+            raise ConfigurationError(
+                f"expected vector of dim {self.dim}, got shape {point.shape}"
+            )
+        node = len(self._vectors)
+        self._vectors.append(point)
+        level = self._sample_level()
+        self._node_level.append(level)
+        while len(self._links) <= level:
+            self._links.append({})
+        for layer in range(level + 1):
+            self._links[layer][node] = []
+
+        if self._entry_point is None:
+            self._entry_point = node
+            return node
+
+        entry = self._entry_point
+        entry_level = self._node_level[entry]
+
+        # Phase 1: greedy descent through layers above the insertion level.
+        current = entry
+        for layer in range(entry_level, level, -1):
+            current = self._greedy_closest(point, current, layer)
+
+        # Phase 2: ef-bounded search + linking on each layer <= level.
+        for layer in range(min(level, entry_level), -1, -1):
+            candidates = self._search_layer(
+                point, [current], self.ef_construction, layer
+            )
+            m_max = self.m_max0 if layer == 0 else self.m
+            neighbors = self._select_neighbors_heuristic(
+                point, candidates, self.m
+            )
+            self._links[layer][node] = list(neighbors)
+            for neighbor in neighbors:
+                self._link(neighbor, node, layer, m_max)
+            if candidates:
+                current = min(candidates, key=lambda pair: pair[0])[1]
+
+        if level > entry_level:
+            self._entry_point = node
+        return node
+
+    def add_items(self, data: npt.ArrayLike) -> list[int]:
+        """Insert every row of a 2-D array; returns the assigned ids."""
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"expected 2-D data, got ndim={matrix.ndim}"
+            )
+        return [self.add(row) for row in matrix]
+
+    def _sample_level(self) -> int:
+        # Geometric level distribution: floor(-ln(U) * mult).
+        uniform = self._rng.random()
+        while uniform <= 0.0:  # pragma: no cover - astronomically unlikely
+            uniform = self._rng.random()
+        return int(-math.log(uniform) * self._level_mult)
+
+    def _link(self, node: int, new_neighbor: int, layer: int, m_max: int) -> None:
+        """Add a back-link and prune the node's degree to ``m_max``."""
+        links = self._links[layer][node]
+        links.append(new_neighbor)
+        if len(links) <= m_max:
+            return
+        point = self._vectors[node]
+        distances = self._distances(point, links)
+        pairs = sorted(zip(distances.tolist(), links))
+        kept = self._select_neighbors_heuristic(point, pairs, m_max)
+        self._links[layer][node] = list(kept)
+
+    def _select_neighbors_heuristic(
+        self,
+        point: npt.NDArray[np.float64],
+        candidates: list[tuple[float, int]],
+        count: int,
+    ) -> list[int]:
+        """Algorithm 4: pick diverse close neighbours.
+
+        A candidate is kept only if it is closer to the query point than to
+        any already-kept neighbour; this spreads links across clusters and
+        is what gives HNSW graphs their navigability.  Discarded candidates
+        backfill remaining slots by distance.
+        """
+        ordered = sorted(candidates)
+        kept: list[int] = []
+        discarded: list[int] = []
+        for distance, candidate in ordered:
+            if len(kept) >= count:
+                break
+            if not kept:
+                kept.append(candidate)
+                continue
+            to_kept = self._distances(self._vectors[candidate], kept)
+            if distance <= float(to_kept.min()):
+                kept.append(candidate)
+            else:
+                discarded.append(candidate)
+        for candidate in discarded:
+            if len(kept) >= count:
+                break
+            kept.append(candidate)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _greedy_closest(
+        self, query: npt.NDArray[np.float64], start: int, layer: int
+    ) -> int:
+        """Greedy walk on one layer to a local minimum of distance."""
+        current = start
+        current_distance = self._distance(query, current)
+        improved = True
+        while improved:
+            improved = False
+            neighbors = self._links[layer].get(current, [])
+            if not neighbors:
+                break
+            distances = self._distances(query, neighbors)
+            best = int(np.argmin(distances))
+            if distances[best] < current_distance:
+                current = neighbors[best]
+                current_distance = float(distances[best])
+                improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: npt.NDArray[np.float64],
+        entry_points: Sequence[int],
+        ef: int,
+        layer: int,
+    ) -> list[tuple[float, int]]:
+        """Algorithm 2: best-first search with a beam of size ``ef``.
+
+        Returns up to ``ef`` (distance, node) pairs, unsorted.
+        """
+        visited = set(entry_points)
+        candidates: list[tuple[float, int]] = []  # min-heap by distance
+        results: list[tuple[float, int]] = []  # max-heap via negated distance
+        for entry in entry_points:
+            distance = self._distance(query, entry)
+            heapq.heappush(candidates, (distance, entry))
+            heapq.heappush(results, (-distance, entry))
+
+        while candidates:
+            distance, node = heapq.heappop(candidates)
+            worst = -results[0][0]
+            if distance > worst and len(results) >= ef:
+                break
+            neighbors = [
+                n for n in self._links[layer].get(node, []) if n not in visited
+            ]
+            if not neighbors:
+                continue
+            visited.update(neighbors)
+            neighbor_distances = self._distances(query, neighbors)
+            for neighbor_distance, neighbor in zip(
+                neighbor_distances.tolist(), neighbors
+            ):
+                worst = -results[0][0]
+                if len(results) < ef or neighbor_distance < worst:
+                    heapq.heappush(candidates, (neighbor_distance, neighbor))
+                    heapq.heappush(results, (-neighbor_distance, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+
+        return [(-negated, node) for negated, node in results]
+
+    def search(
+        self, vector: npt.ArrayLike, k: int = 10, ef: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Algorithm 5: return up to ``k`` (node_id, distance) pairs.
+
+        ``ef`` defaults to ``max(ef_construction, k)``; larger values trade
+        speed for recall.
+        """
+        if self._entry_point is None:
+            return []
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        query = np.asarray(vector, dtype=np.float64).ravel()
+        if query.shape != (self.dim,):
+            raise ConfigurationError(
+                f"expected vector of dim {self.dim}, got shape {query.shape}"
+            )
+        beam_width = max(ef if ef is not None else self.ef_construction, k)
+
+        current = self._entry_point
+        for layer in range(self._node_level[current], 0, -1):
+            current = self._greedy_closest(query, current, layer)
+        found = self._search_layer(query, [current], beam_width, 0)
+        found.sort()
+        return [(node, distance) for distance, node in found[:k]]
+
+    def radius_search(
+        self, vector: npt.ArrayLike, radius: float, ef: int | None = None
+    ) -> list[tuple[int, float]]:
+        """All indexed points within ``radius`` of ``vector`` (approximate).
+
+        Implemented as a k-NN query with ``k = ef`` followed by a distance
+        filter, matching how the paper's baseline uses the index to collect
+        same/similar roles.  Points may be missed if the beam is too small.
+        """
+        beam_width = ef if ef is not None else self.ef_construction
+        hits = self.search(vector, k=beam_width, ef=beam_width)
+        return [(node, distance) for node, distance in hits if distance <= radius]

@@ -1,0 +1,47 @@
+"""Benchmark harness for the paper's evaluation section (§IV).
+
+* :mod:`~repro.benchharness.timing` — repeat/mean/std measurement, as in
+  the paper ("each experiment five times … average and standard
+  deviation").
+* :mod:`~repro.benchharness.experiments` — one runner per figure/table:
+  Figure 2 (duration vs user count), Figure 3 (duration vs role count),
+  and the §IV-B real-dataset table (planted synthetic stand-in), plus the
+  consolidation headline.
+* :mod:`~repro.benchharness.figures` — plain-text/CSV rendering of the
+  measured series next to the paper's reported values.
+"""
+
+from repro.benchharness.timing import TimingStats, time_call
+from repro.benchharness.experiments import (
+    METHOD_LABELS,
+    RealDatasetResult,
+    SweepPoint,
+    SweepResult,
+    run_density_sweep,
+    run_real_dataset,
+    run_roles_sweep,
+    run_users_sweep,
+)
+from repro.benchharness.figures import (
+    render_ascii_chart,
+    render_real_dataset_table,
+    render_series_csv,
+    render_series_table,
+)
+
+__all__ = [
+    "TimingStats",
+    "time_call",
+    "METHOD_LABELS",
+    "SweepPoint",
+    "SweepResult",
+    "RealDatasetResult",
+    "run_users_sweep",
+    "run_density_sweep",
+    "run_roles_sweep",
+    "run_real_dataset",
+    "render_ascii_chart",
+    "render_real_dataset_table",
+    "render_series_csv",
+    "render_series_table",
+]

@@ -1,0 +1,137 @@
+"""Plain-text rendering of experiment results.
+
+The paper plots Figures 2/3 as duration-vs-size line charts; the harness
+prints the identical series as aligned text tables and CSV so results can
+be compared against the paper (and re-plotted by any tool).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.benchharness.experiments import (
+    METHOD_LABELS,
+    RealDatasetResult,
+    SweepResult,
+)
+
+
+def render_series_table(result: SweepResult) -> str:
+    """Aligned table: one row per x value, one column per method."""
+    methods = result.methods()
+    header = [f"{result.x_label:>10}"] + [
+        f"{METHOD_LABELS.get(m, m):>34}" for m in methods
+    ]
+    lines = [
+        f"{result.name} ({result.fixed_label}; seconds, mean ± std)",
+        "".join(header),
+    ]
+    x_values = sorted({p.x for p in result.points})
+    by_key = {(p.x, p.method): p for p in result.points}
+    for x in x_values:
+        cells = [f"{x:>10}"]
+        for method in methods:
+            point = by_key.get((x, method))
+            if point is None:
+                cells.append(f"{'—':>34}")
+            else:
+                cells.append(
+                    f"{point.stats.mean:>24.3f} ± {point.stats.std:<7.3f}"
+                )
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_series_csv(result: SweepResult) -> str:
+    """CSV: x,method,mean_seconds,std_seconds,n_groups."""
+    buffer = io.StringIO()
+    buffer.write(f"{result.x_label},method,mean_seconds,std_seconds,n_groups\n")
+    for point in sorted(result.points, key=lambda p: (p.x, p.method)):
+        buffer.write(
+            f"{point.x},{point.method},{point.stats.mean:.6f},"
+            f"{point.stats.std:.6f},{point.n_groups}\n"
+        )
+    return buffer.getvalue()
+
+
+def render_ascii_chart(
+    result: SweepResult, width: int = 60, height: int = 16
+) -> str:
+    """Log-scale ASCII line chart of a sweep — a terminal rendition of
+    the paper's Figure 2/3 plots.
+
+    Each method gets a marker; the y axis is log10(seconds) because the
+    methods span several orders of magnitude (the whole point of the
+    figures).
+    """
+    import math
+
+    points = [p for p in result.points if p.stats.mean > 0]
+    if not points:
+        return f"{result.name}: no data"
+
+    markers = "o*x+#@"
+    methods = result.methods()
+    xs = sorted({p.x for p in result.points})
+    y_values = [math.log10(p.stats.mean) for p in points]
+    y_min, y_max = min(y_values), max(y_values)
+    if y_max - y_min < 1e-9:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for p in points:
+        column = (
+            0
+            if len(xs) == 1
+            else int((xs.index(p.x)) * (width - 1) / (len(xs) - 1))
+        )
+        level = math.log10(p.stats.mean)
+        row = int((y_max - level) * (height - 1) / (y_max - y_min))
+        marker = markers[methods.index(p.method) % len(markers)]
+        grid[row][column] = marker
+
+    lines = [f"{result.name} ({result.fixed_label}) — log10(seconds)"]
+    for row_index, row in enumerate(grid):
+        level = y_max - row_index * (y_max - y_min) / (height - 1)
+        lines.append(f"{level:7.2f} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{result.x_label}: {xs[0]} … {xs[-1]}"
+    )
+    for method in methods:
+        marker = markers[methods.index(method) % len(markers)]
+        lines.append(f"  {marker} = {METHOD_LABELS.get(method, method)}")
+    return "\n".join(lines)
+
+
+def render_real_dataset_table(
+    result: RealDatasetResult, paper_counts: dict[str, int] | None = None
+) -> str:
+    """Planted-vs-measured (and optionally paper-reported) count table."""
+    lines = [
+        "real-dataset experiment (§IV-B stand-in)",
+        f"profile: users={result.profile.n_users} "
+        f"roles={result.profile.n_roles} "
+        f"permissions={result.profile.n_permissions}",
+        f"analysis time: {result.analysis_seconds:.2f}s",
+        "",
+    ]
+    header = f"{'metric':<30}{'planted':>10}{'measured':>10}"
+    if paper_counts:
+        header += f"{'paper':>10}"
+    lines.append(header)
+    for metric, expected, measured in result.count_rows():
+        row = f"{metric:<30}{expected:>10}{measured:>10}"
+        if paper_counts:
+            row += f"{paper_counts.get(metric, 0):>10}"
+        lines.append(row)
+    lines.append("")
+    consolidation = result.consolidation
+    lines.append(
+        "duplicate-group consolidation could remove "
+        f"{consolidation['removable_total_upper_bound']} roles "
+        f"({consolidation['fraction_of_roles']:.1%} of all roles)"
+    )
+    if result.reduction_description:
+        lines.append(f"applied: {result.reduction_description}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Repeat-and-aggregate wall-clock timing.
+
+The paper runs each configuration five times and reports mean and
+standard deviation; :func:`time_call` reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Aggregated wall-clock measurements of one configuration."""
+
+    runs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ConfigurationError("TimingStats needs at least one run")
+        object.__setattr__(self, "runs", tuple(float(r) for r in self.runs))
+
+    @property
+    def n(self) -> int:
+        return len(self.runs)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.runs) / len(self.runs)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 for a single run)."""
+        if len(self.runs) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((r - mu) ** 2 for r in self.runs) / len(self.runs))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.runs)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.runs)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}s ± {self.std:.3f}s (n={self.n})"
+
+
+def time_call(
+    fn: Callable[[], Any], repeats: int = 5
+) -> tuple[TimingStats, Any]:
+    """Call ``fn`` ``repeats`` times; return (stats, last result).
+
+    Uses ``time.perf_counter``.  The callable should be self-contained:
+    any setup that must not be timed belongs outside it.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    durations = []
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        durations.append(time.perf_counter() - start)
+    return TimingStats(tuple(durations)), result

@@ -1,0 +1,134 @@
+"""Sparse-format evaluation for the co-occurrence kernel.
+
+The paper's memory note (§III-B): sparse storage can shrink RUAM/RPAM
+further, but "the type of sparse matrix should be chosen considering
+other factors, such as conversion time, based on the experimental
+evaluation."  This module is that evaluation as a library call: it
+measures, per scipy sparse format, the conversion cost from dense/CSR,
+the memory footprint, and the cost of the ``M @ M.T`` co-occurrence
+product the custom algorithm runs on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy.typing as npt
+import scipy.sparse as sp
+
+from repro.bitmatrix.sparse import to_csr
+from repro.exceptions import ConfigurationError
+
+#: Formats evaluated by default.  ``lil``/``dok`` exist for mutation, not
+#: algebra, and are orders of magnitude slower in products; they are
+#: included on request to make exactly that visible.
+DEFAULT_FORMATS: tuple[str, ...] = ("csr", "csc", "coo")
+
+_CONVERTERS = {
+    "csr": lambda m: m.tocsr(),
+    "csc": lambda m: m.tocsc(),
+    "coo": lambda m: m.tocoo(),
+    "lil": lambda m: m.tolil(),
+    "dok": lambda m: m.todok(),
+}
+
+
+@dataclass(frozen=True)
+class FormatStats:
+    """Measurements for one sparse format."""
+
+    format: str
+    conversion_seconds: float
+    memory_bytes: int
+    product_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": self.format,
+            "conversion_seconds": self.conversion_seconds,
+            "memory_bytes": self.memory_bytes,
+            "product_seconds": self.product_seconds,
+        }
+
+
+def _memory_of(matrix: sp.spmatrix) -> int:
+    """Approximate in-memory footprint of a scipy sparse matrix."""
+    total = 0
+    for attribute in ("data", "indices", "indptr", "row", "col"):
+        array = getattr(matrix, attribute, None)
+        if array is not None:
+            total += array.nbytes
+    if hasattr(matrix, "rows"):  # LIL
+        total += sum(
+            len(row) * 16 for row in matrix.rows
+        )  # rough Python-list estimate
+    return total
+
+
+def evaluate_formats(
+    matrix: npt.ArrayLike | sp.spmatrix,
+    formats: Sequence[str] = DEFAULT_FORMATS,
+    repeats: int = 3,
+) -> list[FormatStats]:
+    """Measure conversion/memory/product cost per sparse format.
+
+    ``product_seconds`` times ``converted @ converted.T`` — the exact
+    kernel of the paper's custom algorithm — taking the best of
+    ``repeats`` runs.  Results are returned in the order requested.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    base = to_csr(matrix)
+    results = []
+    for name in formats:
+        try:
+            converter = _CONVERTERS[name]
+        except KeyError:
+            known = ", ".join(sorted(_CONVERTERS))
+            raise ConfigurationError(
+                f"unknown sparse format {name!r}; expected one of: {known}"
+            ) from None
+
+        best_conversion = float("inf")
+        converted = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            converted = converter(base)
+            best_conversion = min(
+                best_conversion, time.perf_counter() - start
+            )
+        assert converted is not None
+
+        best_product = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _ = converted @ converted.T
+            best_product = min(best_product, time.perf_counter() - start)
+
+        results.append(
+            FormatStats(
+                format=name,
+                conversion_seconds=best_conversion,
+                memory_bytes=_memory_of(converted),
+                product_seconds=best_product,
+            )
+        )
+    return results
+
+
+def recommend_format(
+    matrix: npt.ArrayLike | sp.spmatrix,
+    formats: Sequence[str] = DEFAULT_FORMATS,
+    repeats: int = 3,
+) -> str:
+    """The format with the cheapest co-occurrence product.
+
+    Conversion happens once per analysis while the product dominates, so
+    the recommendation weighs the product time only (ties broken by
+    conversion time).
+    """
+    stats = evaluate_formats(matrix, formats=formats, repeats=repeats)
+    best = min(stats, key=lambda s: (s.product_seconds, s.conversion_seconds))
+    return best.format

@@ -1,0 +1,504 @@
+"""``repro`` command-line interface.
+
+Subcommands
+-----------
+``analyze``
+    Load an RBAC dataset (JSON or CSV directory), run the detector
+    suite, print the report (text / markdown / json).
+``generate``
+    Produce a synthetic dataset: the planted organisation (``org``) or
+    the departmental demo org (``departmental``).
+``plan``
+    Build a remediation plan from a dataset and print it (optionally
+    write the consolidated dataset back out).
+``diff``
+    Analyse two datasets and print the finding delta (new / resolved /
+    count changes) — the periodic-run review view.
+``anonymize``
+    Keyed pseudonymisation: structure (and findings) preserved exactly,
+    identities unlinkable without the key.
+``render``
+    Graphviz DOT export of the tripartite graph, Figure-1 style, with
+    detected inefficiencies highlighted.
+``stats``
+    Dataset shape statistics (degree distributions, densities, Gini).
+``usage``
+    Dormancy analysis joining the dataset with an access-log CSV.
+``bench``
+    Run a paper experiment (``fig2``, ``fig3``, ``real``) or the
+    ``density`` ablation and print the series/table.
+
+Run ``repro <subcommand> --help`` for the full flag list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.engine import AnalysisConfig, analyze
+from repro.core.state import RbacState
+from repro.exceptions import ReproError
+from repro.io import load_csv, load_json, save_csv, save_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IAM Role Diet: detect RBAC data inefficiencies",
+    )
+    parser.set_defaults(command=None)
+    sub = parser.add_subparsers(dest="command")
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="analyse a dataset and print the findings report"
+    )
+    analyze_parser.add_argument("dataset", help="JSON file or CSV directory")
+    analyze_parser.add_argument(
+        "--finder",
+        default="cooccurrence",
+        choices=("cooccurrence", "dbscan", "hnsw", "hash", "lsh"),
+        help="group finder for duplicate/similar roles",
+    )
+    analyze_parser.add_argument(
+        "--similarity-threshold",
+        type=int,
+        default=1,
+        help="max differing users/permissions for 'similar' roles",
+    )
+    analyze_parser.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "markdown", "json", "csv"),
+        help="report output format",
+    )
+    analyze_parser.add_argument(
+        "--hierarchy",
+        metavar="EDGES_JSON",
+        help="role-inheritance file (repro-hierarchy JSON); the dataset "
+        "is flattened through it before analysis",
+    )
+    analyze_parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run extension detectors (shadowed roles)",
+    )
+    analyze_parser.add_argument(
+        "--max-findings",
+        type=int,
+        default=20,
+        help="findings shown in text output",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    generate_parser = sub.add_parser(
+        "generate", help="generate a synthetic dataset"
+    )
+    generate_parser.add_argument(
+        "kind", choices=("org", "departmental"), help="generator to use"
+    )
+    generate_parser.add_argument("output", help="output JSON file or CSV dir")
+    generate_parser.add_argument(
+        "--scale-divisor",
+        type=int,
+        default=100,
+        help="org: divide the paper-scale dataset by this factor "
+        "(1 = full ~90k users / ~50k roles / ~350k permissions)",
+    )
+    generate_parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed"
+    )
+    generate_parser.add_argument(
+        "--csv", action="store_true", help="write a CSV directory instead of JSON"
+    )
+    generate_parser.set_defaults(handler=_cmd_generate)
+
+    plan_parser = sub.add_parser(
+        "plan", help="build a remediation plan for a dataset"
+    )
+    plan_parser.add_argument("dataset", help="JSON file or CSV directory")
+    plan_parser.add_argument(
+        "--finder", default="cooccurrence",
+        choices=("cooccurrence", "dbscan", "hnsw", "hash", "lsh"),
+    )
+    plan_parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="include extension detectors (shadowed roles) in planning",
+    )
+    plan_parser.add_argument(
+        "--apply",
+        metavar="OUTPUT",
+        help="apply the plan and write the consolidated dataset here",
+    )
+    plan_parser.add_argument(
+        "--json", action="store_true", help="print the plan as JSON"
+    )
+    plan_parser.set_defaults(handler=_cmd_plan)
+
+    diff_parser = sub.add_parser(
+        "diff",
+        help="compare the findings of two datasets (e.g. successive "
+        "periodic exports)",
+    )
+    diff_parser.add_argument("old", help="older dataset (JSON or CSV dir)")
+    diff_parser.add_argument("new", help="newer dataset (JSON or CSV dir)")
+    diff_parser.add_argument(
+        "--finder", default="cooccurrence",
+        choices=("cooccurrence", "dbscan", "hnsw", "hash", "lsh"),
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true", help="print the delta as JSON"
+    )
+    diff_parser.set_defaults(handler=_cmd_diff)
+
+    anonymize_parser = sub.add_parser(
+        "anonymize",
+        help="pseudonymise a dataset (structure preserved, ids unlinkable)",
+    )
+    anonymize_parser.add_argument("dataset", help="input JSON file or CSV dir")
+    anonymize_parser.add_argument("output", help="output JSON file or CSV dir")
+    anonymize_parser.add_argument(
+        "--key", default="", help="HMAC key (same key = stable pseudonyms)"
+    )
+    anonymize_parser.add_argument(
+        "--csv", action="store_true", help="write a CSV directory"
+    )
+    anonymize_parser.set_defaults(handler=_cmd_anonymize)
+
+    render_parser = sub.add_parser(
+        "render",
+        help="export the tripartite graph as Graphviz DOT "
+        "(inefficiencies highlighted)",
+    )
+    render_parser.add_argument("dataset", help="JSON file or CSV directory")
+    render_parser.add_argument(
+        "output", nargs="?", help="output .dot file (default: stdout)"
+    )
+    render_parser.add_argument(
+        "--plain",
+        action="store_true",
+        help="skip the analysis pass; no highlighting",
+    )
+    render_parser.set_defaults(handler=_cmd_render)
+
+    stats_parser = sub.add_parser(
+        "stats", help="print dataset shape statistics"
+    )
+    stats_parser.add_argument("dataset", help="JSON file or CSV directory")
+    stats_parser.add_argument(
+        "--json", action="store_true", help="print statistics as JSON"
+    )
+    stats_parser.set_defaults(handler=_cmd_stats)
+
+    usage_parser = sub.add_parser(
+        "usage",
+        help="dormancy analysis: join a dataset with an access-log CSV",
+    )
+    usage_parser.add_argument("dataset", help="JSON file or CSV directory")
+    usage_parser.add_argument(
+        "log", help="access-log CSV (user_id,permission_id[,timestamp])"
+    )
+    usage_parser.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    usage_parser.set_defaults(handler=_cmd_usage)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run a paper experiment and print its series/table"
+    )
+    bench_parser.add_argument(
+        "--experiment",
+        required=True,
+        choices=("fig2", "fig3", "real", "density"),
+        help="paper experiment (fig2/fig3/real) or the density ablation",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="fraction of the paper's sweep sizes to run "
+        "(1.0 = full 1,000-10,000 sweep; default 0.2)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=5, help="repetitions per point"
+    )
+    bench_parser.add_argument(
+        "--methods",
+        default="dbscan,hnsw,cooccurrence",
+        help="comma-separated method list",
+    )
+    bench_parser.add_argument(
+        "--csv", action="store_true", help="print CSV instead of a table"
+    )
+    bench_parser.add_argument(
+        "--scale-divisor",
+        type=int,
+        default=100,
+        help="real: planted-org scale divisor (1 = paper scale)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Dataset helpers
+# ----------------------------------------------------------------------
+def _load_dataset(path_text: str) -> RbacState:
+    path = Path(path_text)
+    if path.is_dir():
+        return load_csv(path)
+    return load_json(path)
+
+
+def _save_dataset(state: RbacState, path_text: str, as_csv: bool) -> None:
+    if as_csv:
+        save_csv(state, path_text)
+    else:
+        save_json(state, path_text)
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    state = _load_dataset(args.dataset)
+    if args.hierarchy:
+        from repro.hierarchy import flatten, load_hierarchy_json
+
+        state = flatten(state, load_hierarchy_json(args.hierarchy))
+    if args.extensions:
+        config = AnalysisConfig.with_extensions(
+            finder=args.finder,
+            similarity_threshold=args.similarity_threshold,
+        )
+    else:
+        config = AnalysisConfig(
+            finder=args.finder,
+            similarity_threshold=args.similarity_threshold,
+        )
+    report = analyze(state, config)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "markdown":
+        print(report.to_markdown())
+    elif args.format == "csv":
+        print(report.to_csv(), end="")
+    else:
+        print(report.to_text(max_findings=args.max_findings))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core import diff_reports
+
+    config = AnalysisConfig(finder=args.finder)
+    old_report = analyze(_load_dataset(args.old), config)
+    new_report = analyze(_load_dataset(args.new), config)
+    delta = diff_reports(old_report, new_report)
+    if args.json:
+        import json
+
+        print(json.dumps(delta.to_dict(), indent=2))
+    else:
+        print(delta.to_text())
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.io import anonymize
+
+    state = _load_dataset(args.dataset)
+    pseudonymised = anonymize(state, key=args.key)
+    _save_dataset(pseudonymised, args.output, as_csv=args.csv)
+    print(
+        f"wrote anonymised dataset ({pseudonymised.n_users} users, "
+        f"{pseudonymised.n_roles} roles, "
+        f"{pseudonymised.n_permissions} permissions) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.io import state_to_dot
+
+    state = _load_dataset(args.dataset)
+    report = None if args.plain else analyze(state)
+    dot = state_to_dot(state, report)
+    if args.output:
+        Path(args.output).write_text(dot, encoding="utf-8")
+        print(f"wrote DOT graph to {args.output}")
+    else:
+        print(dot, end="")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core import dataset_statistics
+
+    statistics = dataset_statistics(_load_dataset(args.dataset))
+    if args.json:
+        import json
+
+        print(json.dumps(statistics.to_dict(), indent=2))
+    else:
+        print(statistics.to_text())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "org":
+        from repro.datagen import OrgProfile, generate_org
+
+        if args.scale_divisor == 1:
+            profile = OrgProfile.paper_scale(seed=args.seed)
+        else:
+            profile = OrgProfile.small(
+                divisor=args.scale_divisor, seed=args.seed
+            )
+        state = generate_org(profile).state
+    else:
+        from repro.datagen import DepartmentProfile, generate_departmental_org
+
+        state = generate_departmental_org(DepartmentProfile(seed=args.seed))
+    _save_dataset(state, args.output, as_csv=args.csv)
+    print(
+        f"wrote {state.n_users} users, {state.n_roles} roles, "
+        f"{state.n_permissions} permissions to {args.output}"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.remediation import apply_plan, build_plan, measure_reduction
+
+    state = _load_dataset(args.dataset)
+    if args.extensions:
+        config = AnalysisConfig.with_extensions(finder=args.finder)
+    else:
+        config = AnalysisConfig(finder=args.finder)
+    report = analyze(state, config)
+    plan = build_plan(report)
+    if args.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.describe())
+    if args.apply:
+        cleaned = apply_plan(state, plan)
+        metrics = measure_reduction(state, cleaned)
+        _save_dataset(cleaned, args.apply, as_csv=Path(args.apply).suffix == "")
+        print(metrics.describe())
+        print(f"wrote consolidated dataset to {args.apply}")
+    return 0
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    from repro.usage import UsageAnalysis, load_access_log_csv
+
+    state = _load_dataset(args.dataset)
+    log = load_access_log_csv(args.log)
+    analysis = UsageAnalysis(state, log)
+    if args.json:
+        import json
+
+        print(json.dumps(analysis.summary().to_dict(), indent=2))
+    else:
+        print(analysis.to_text())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchharness import (
+        render_real_dataset_table,
+        render_series_csv,
+        render_series_table,
+        run_real_dataset,
+        run_roles_sweep,
+        run_users_sweep,
+    )  # noqa: F401 (density imports on demand)
+
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+
+    if args.experiment == "real":
+        from repro.datagen import OrgProfile, PlantedCounts
+
+        if args.scale_divisor == 1:
+            profile = OrgProfile.paper_scale()
+        else:
+            profile = OrgProfile.small(divisor=args.scale_divisor)
+        result = run_real_dataset(profile)
+        print(
+            render_real_dataset_table(
+                result, paper_counts=PlantedCounts().as_dict()
+            )
+        )
+        return 0
+
+    if args.experiment == "density":
+        from repro.benchharness import run_density_sweep
+
+        result = run_density_sweep(
+            [0.01, 0.05, 0.15, 0.30],
+            n_roles=max(50, int(round(5000 * args.scale))),
+            n_cols=max(50, int(round(1000 * args.scale))),
+            methods=methods if "hnsw" not in methods else tuple(
+                m for m in methods if m != "hnsw"
+            ),
+            repeats=args.repeats,
+        )
+        if args.csv:
+            print(render_series_csv(result), end="")
+        else:
+            print(render_series_table(result))
+        return 0
+
+    # Paper sweeps go 1,000 → 10,000 in steps of 1,000; --scale shrinks
+    # every size proportionally so quick runs keep the same shape.
+    sizes = [
+        max(50, int(round(n * args.scale))) for n in range(1000, 10001, 1000)
+    ]
+    sizes = sorted(set(sizes))
+    if args.experiment == "fig2":
+        result = run_users_sweep(
+            sizes,
+            n_roles=max(50, int(round(1000 * args.scale))),
+            methods=methods,
+            repeats=args.repeats,
+        )
+    else:
+        result = run_roles_sweep(
+            sizes,
+            n_users=max(50, int(round(1000 * args.scale))),
+            methods=methods,
+            repeats=args.repeats,
+        )
+    if args.csv:
+        print(render_series_csv(result), end="")
+    else:
+        print(render_series_table(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

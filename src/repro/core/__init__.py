@@ -1,0 +1,43 @@
+"""Core RBAC model, inefficiency taxonomy, detectors, and analysis engine."""
+
+from repro.core.engine import ALL_TYPES, AnalysisConfig, AnalysisEngine, analyze
+from repro.core.entities import EntityKind, Permission, Role, User
+from repro.core.incremental import IncrementalAuditor
+from repro.core.matrices import AssignmentMatrix
+from repro.core.report import Report
+from repro.core.reportdiff import ReportDiff, diff_reports
+from repro.core.stats import DatasetStatistics, dataset_statistics
+from repro.core.state import RbacState
+from repro.core.taxonomy import (
+    Axis,
+    Finding,
+    InefficiencyType,
+    RoleGroup,
+    Severity,
+    sort_findings,
+)
+
+__all__ = [
+    "ALL_TYPES",
+    "AnalysisConfig",
+    "AnalysisEngine",
+    "analyze",
+    "AssignmentMatrix",
+    "Axis",
+    "EntityKind",
+    "Finding",
+    "IncrementalAuditor",
+    "InefficiencyType",
+    "Permission",
+    "Report",
+    "ReportDiff",
+    "diff_reports",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "RbacState",
+    "Role",
+    "RoleGroup",
+    "Severity",
+    "User",
+    "sort_findings",
+]

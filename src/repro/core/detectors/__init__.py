@@ -1,0 +1,27 @@
+"""Detectors — one per taxonomy type (§III-A / §III-B).
+
+Each detector consumes a shared :class:`~repro.core.detectors.base.AnalysisContext`
+(the RBAC state plus lazily-built RUAM/RPAM) and emits
+:class:`~repro.core.taxonomy.Finding` records.  Types 1-3 are linear scans
+over matrix row/column sums; types 4-5 delegate to a pluggable
+:class:`~repro.core.grouping.GroupFinder`.
+"""
+
+from repro.core.detectors.base import AnalysisContext, Detector
+from repro.core.detectors.standalone import StandaloneNodeDetector
+from repro.core.detectors.disconnected import DisconnectedRoleDetector
+from repro.core.detectors.single import SingleAssignmentDetector
+from repro.core.detectors.duplicates import DuplicateRolesDetector
+from repro.core.detectors.similar import SimilarRolesDetector
+from repro.core.detectors.shadowed import ShadowedRoleDetector
+
+__all__ = [
+    "AnalysisContext",
+    "Detector",
+    "StandaloneNodeDetector",
+    "DisconnectedRoleDetector",
+    "SingleAssignmentDetector",
+    "DuplicateRolesDetector",
+    "SimilarRolesDetector",
+    "ShadowedRoleDetector",
+]

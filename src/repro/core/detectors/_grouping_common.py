@@ -1,0 +1,46 @@
+"""Shared machinery for the group-based detectors (types 4 and 5).
+
+Both detectors analyse one axis at a time (RUAM for users, RPAM for
+permissions), restrict the analysis to roles with at least one edge on
+that axis (empty roles are type-1/2 findings; grouping them by "shared
+users" would be vacuous), run a pluggable group finder, and map matrix row
+indices back to role ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.grouping import GroupFinder
+from repro.core.matrices import AssignmentMatrix
+
+
+def nonempty_submatrix(
+    matrix: AssignmentMatrix,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Rows with at least one edge, plus their original indices."""
+    keep = np.flatnonzero(matrix.row_sums > 0)
+    return matrix.csr[keep], keep
+
+
+def find_role_groups(
+    matrix: AssignmentMatrix,
+    finder: GroupFinder,
+    max_differences: int,
+    skip_empty_rows: bool = True,
+) -> list[list[str]]:
+    """Run ``finder`` over ``matrix`` and return groups of role ids.
+
+    When ``skip_empty_rows`` is set (the default for detectors) the finder
+    only sees roles that have at least one edge on this axis.
+    """
+    if skip_empty_rows:
+        submatrix, original = nonempty_submatrix(matrix)
+        groups = finder.find_groups(submatrix, max_differences)
+        index_groups = [
+            [int(original[member]) for member in group] for group in groups
+        ]
+    else:
+        index_groups = finder.find_groups(matrix, max_differences)
+    return matrix.groups_to_ids(index_groups)

@@ -1,0 +1,51 @@
+"""Detector interface and the shared analysis context.
+
+The paper computes RUAM/RPAM and their row/column sums once and reuses
+them across inefficiency types (§III-B).  :class:`AnalysisContext` is that
+shared computation: detectors pull the matrices from it, and the first
+access builds them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+from repro.core.matrices import AssignmentMatrix
+from repro.core.state import RbacState
+from repro.core.taxonomy import Finding
+
+
+class AnalysisContext:
+    """An RBAC state plus its lazily-built assignment matrices."""
+
+    def __init__(self, state: RbacState) -> None:
+        self.state = state
+
+    @cached_property
+    def ruam(self) -> AssignmentMatrix:
+        """Role-User Assignment Matrix (built on first access)."""
+        return AssignmentMatrix.ruam(self.state)
+
+    @cached_property
+    def rpam(self) -> AssignmentMatrix:
+        """Role-Permission Assignment Matrix (built on first access)."""
+        return AssignmentMatrix.rpam(self.state)
+
+
+class Detector(ABC):
+    """Detects one inefficiency type over an :class:`AnalysisContext`."""
+
+    #: Stable identifier used in reports and the CLI.
+    name: str = ""
+
+    @abstractmethod
+    def detect(self, context: AnalysisContext) -> list[Finding]:
+        """Return all findings of this detector's type.
+
+        Implementations must be read-only with respect to the state and
+        deterministic: equal inputs yield equal findings in equal order.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,89 @@
+"""Type 4 — roles sharing exactly the same users or permissions (§III-A.4).
+
+The paper's headline consolidation target: every group of n identical
+roles can in principle be collapsed to one, removing n-1 roles.  The
+detector runs a group finder with ``max_differences = 0`` on each axis.
+"""
+
+from __future__ import annotations
+
+from repro.core.detectors._grouping_common import find_role_groups
+from repro.core.detectors.base import AnalysisContext, Detector
+from repro.core.entities import EntityKind
+from repro.core.grouping import GroupFinder, make_group_finder
+from repro.core.matrices import AssignmentMatrix
+from repro.core.taxonomy import (
+    DEFAULT_SEVERITY,
+    Axis,
+    Finding,
+    InefficiencyType,
+    RoleGroup,
+)
+
+
+class DuplicateRolesDetector(Detector):
+    """Finds groups of roles with identical user or permission sets.
+
+    Parameters
+    ----------
+    finder:
+        Group finder name (``"cooccurrence"``, ``"dbscan"``, ``"hnsw"``,
+        ``"hash"``) or a pre-built :class:`GroupFinder`.  Defaults to the
+        paper's custom co-occurrence algorithm.
+    axes:
+        Which axes to analyse; both by default.
+    """
+
+    name = "duplicate_roles"
+
+    def __init__(
+        self,
+        finder: str | GroupFinder = "cooccurrence",
+        axes: tuple[Axis, ...] = (Axis.USERS, Axis.PERMISSIONS),
+    ) -> None:
+        self._finder = (
+            finder if isinstance(finder, GroupFinder) else make_group_finder(finder)
+        )
+        self._axes = tuple(axes)
+
+    def detect(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for axis in self._axes:
+            matrix = context.ruam if axis is Axis.USERS else context.rpam
+            findings.extend(self._detect_axis(matrix, axis))
+        return findings
+
+    def _detect_axis(
+        self, matrix: AssignmentMatrix, axis: Axis
+    ) -> list[Finding]:
+        severity = DEFAULT_SEVERITY[InefficiencyType.DUPLICATE_ROLES]
+        noun = axis.value  # "users" / "permissions"
+        findings = []
+        for role_ids in find_role_groups(matrix, self._finder, 0):
+            group = RoleGroup(
+                role_ids=tuple(role_ids), axis=axis, max_differences=0
+            )
+            shared = (
+                matrix.csr[matrix.row_index(role_ids[0])].indices
+            )
+            findings.append(
+                Finding(
+                    type=InefficiencyType.DUPLICATE_ROLES,
+                    entity_kind=EntityKind.ROLE,
+                    entity_ids=tuple(role_ids),
+                    severity=severity,
+                    message=(
+                        f"{len(role_ids)} roles share the same "
+                        f"{len(shared)} {noun}: {', '.join(role_ids[:5])}"
+                        + ("…" if len(role_ids) > 5 else "")
+                    ),
+                    axis=axis,
+                    group=group,
+                    details={
+                        "group_size": len(role_ids),
+                        "shared_count": int(len(shared)),
+                        "redundant_roles": group.redundant_count,
+                    },
+                )
+            )
+        return findings

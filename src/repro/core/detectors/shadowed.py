@@ -1,0 +1,130 @@
+"""Extension detector — shadowed (dominated) roles.
+
+The paper leaves consolidation of single-assignment roles as future work
+(§IV-B: "the approach for consolidating roles related to the previous
+inefficiency still needs to be developed").  This detector implements
+the provably-safe core of that consolidation:
+
+A role ``r`` is *shadowed* by a role ``s`` when
+
+* ``users(r) ⊆ users(s)``  and  ``permissions(r) ⊆ permissions(s)``.
+
+Every user of ``r`` also holds ``s``, which already grants everything
+``r`` grants — so removing ``r`` cannot change any user's effective
+permissions.  This safely absorbs a large share of the single-permission
+role bloat the paper reports (21,000 roles in the real dataset), beyond
+what exact-duplicate merging covers.
+
+Detection reuses the custom algorithm's machinery: with co-occurrence
+matrices ``Cᵘ = Mᵘ·Mᵘᵀ`` and ``Cᵖ = Mᵖ·Mᵖᵀ``,
+
+* ``users(r) ⊆ users(s)``        iff ``Cᵘ[r, s] = |r|ᵤ``
+* ``permissions(r) ⊆ permissions(s)``  iff ``Cᵖ[r, s] = |r|ₚ``
+
+so candidate pairs come straight from the stored entries of the two
+sparse products — the same trick that makes the paper's algorithm fast.
+Exact duplicates (mutual shadowing) are excluded: those are type 4 and
+handled by the merge planner; roles with an empty side are excluded:
+those are types 1-2.
+
+This is an *extension*: it is not part of the paper's five-type taxonomy
+and is disabled by default (enable via
+``AnalysisConfig(enabled_types=ALL_TYPES + (InefficiencyType.SHADOWED_ROLE,))``
+or ``AnalysisConfig.with_extensions()``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detectors.base import AnalysisContext, Detector
+from repro.core.entities import EntityKind
+from repro.core.taxonomy import (
+    DEFAULT_SEVERITY,
+    Finding,
+    InefficiencyType,
+)
+
+
+class ShadowedRoleDetector(Detector):
+    """Finds roles dominated on both axes by another role."""
+
+    name = "shadowed_roles"
+
+    def detect(self, context: AnalysisContext) -> list[Finding]:
+        from repro.bitmatrix import cooccurrence
+
+        ruam = context.ruam
+        rpam = context.rpam
+        user_norms = ruam.row_sums
+        permission_norms = rpam.row_sums
+
+        # Roles eligible to be shadowed or to shadow: both sides non-empty.
+        eligible = (user_norms > 0) & (permission_norms > 0)
+        if not eligible.any():
+            return []
+
+        user_cooc = cooccurrence(ruam.csr).tocoo()
+        permission_subset_pairs = _subset_pairs(
+            cooccurrence(rpam.csr).tocoo(), permission_norms
+        )
+
+        severity = DEFAULT_SEVERITY[InefficiencyType.SHADOWED_ROLE]
+        findings: list[Finding] = []
+        seen_shadowed: set[int] = set()
+
+        # users(r) ⊆ users(s) candidates, scanned in deterministic order.
+        rows = user_cooc.row
+        cols = user_cooc.col
+        shared = user_cooc.data
+        user_subset = shared == user_norms[rows]
+        order = np.lexsort((cols[user_subset], rows[user_subset]))
+        candidate_rows = rows[user_subset][order]
+        candidate_cols = cols[user_subset][order]
+
+        for r, s in zip(candidate_rows.tolist(), candidate_cols.tolist()):
+            if r == s or r in seen_shadowed:
+                continue
+            if not (eligible[r] and eligible[s]):
+                continue
+            if (r, s) not in permission_subset_pairs:
+                continue
+            # Exclude exact duplicates on both axes (type 4, mutual).
+            if (
+                user_norms[r] == user_norms[s]
+                and permission_norms[r] == permission_norms[s]
+            ):
+                continue
+            seen_shadowed.add(r)
+            shadowed_id = ruam.row_id(r)
+            shadowing_id = ruam.row_id(s)
+            findings.append(
+                Finding(
+                    type=InefficiencyType.SHADOWED_ROLE,
+                    entity_kind=EntityKind.ROLE,
+                    entity_ids=(shadowed_id,),
+                    severity=severity,
+                    message=(
+                        f"role {shadowed_id!r} is shadowed by "
+                        f"{shadowing_id!r}: every user and every permission "
+                        "of the former is covered by the latter"
+                    ),
+                    details={
+                        "shadowed_by": shadowing_id,
+                        "n_users": int(user_norms[r]),
+                        "n_permissions": int(permission_norms[r]),
+                    },
+                )
+            )
+
+        findings.sort(key=lambda f: f.entity_ids)
+        return findings
+
+
+def _subset_pairs(cooc, norms: np.ndarray) -> set[tuple[int, int]]:
+    """(r, s) pairs with row r's set a subset of row s's set (r != s)."""
+    rows = cooc.row
+    cols = cooc.col
+    shared = cooc.data
+    mask = (shared == norms[rows]) & (rows != cols)
+    return set(zip(rows[mask].tolist(), cols[mask].tolist()))

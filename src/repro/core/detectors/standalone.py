@@ -1,0 +1,78 @@
+"""Type 1 — standalone nodes (§III-A.1, §III-B).
+
+A node is standalone when it has no edges at all:
+
+* a **user** whose RUAM column sums to 0 (e.g. an off-boarded employee
+  whose entry was never cleaned up);
+* a **permission** whose RPAM column sums to 0 (e.g. a decommissioned
+  asset);
+* a **role** whose row sums to 0 in *both* RUAM and RPAM — the trickier
+  case the paper calls out, since a role row exists in both matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detectors.base import AnalysisContext, Detector
+from repro.core.entities import EntityKind
+from repro.core.taxonomy import (
+    DEFAULT_SEVERITY,
+    Finding,
+    InefficiencyType,
+)
+
+
+class StandaloneNodeDetector(Detector):
+    """Finds users, permissions, and roles with no edges."""
+
+    name = "standalone_nodes"
+
+    def detect(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        severity = DEFAULT_SEVERITY[InefficiencyType.STANDALONE_NODE]
+
+        for user_id in context.ruam.cols_with_sum(0):
+            findings.append(
+                Finding(
+                    type=InefficiencyType.STANDALONE_NODE,
+                    entity_kind=EntityKind.USER,
+                    entity_ids=(user_id,),
+                    severity=severity,
+                    message=f"user {user_id!r} is not assigned to any role",
+                )
+            )
+
+        for permission_id in context.rpam.cols_with_sum(0):
+            findings.append(
+                Finding(
+                    type=InefficiencyType.STANDALONE_NODE,
+                    entity_kind=EntityKind.PERMISSION,
+                    entity_ids=(permission_id,),
+                    severity=severity,
+                    message=(
+                        f"permission {permission_id!r} is not linked to any role"
+                    ),
+                )
+            )
+
+        # A standalone role has zero-sum rows in both matrices; the row
+        # order is identical (state.role_ids()), so a vector AND suffices.
+        both_empty = np.flatnonzero(
+            (context.ruam.row_sums == 0) & (context.rpam.row_sums == 0)
+        )
+        for index in both_empty:
+            role_id = context.ruam.row_id(int(index))
+            findings.append(
+                Finding(
+                    type=InefficiencyType.STANDALONE_NODE,
+                    entity_kind=EntityKind.ROLE,
+                    entity_ids=(role_id,),
+                    severity=severity,
+                    message=(
+                        f"role {role_id!r} has neither users nor permissions"
+                    ),
+                )
+            )
+
+        return findings

@@ -1,0 +1,180 @@
+"""Analysis engine: run the detector suite over an RBAC state.
+
+The engine wires the taxonomy together: it instantiates one detector per
+enabled inefficiency type (sharing a single group-finder configuration for
+types 4 and 5), runs them over a shared :class:`AnalysisContext`, and
+collects findings plus per-detector wall-clock timings into a
+:class:`~repro.core.report.Report`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.detectors import (
+    AnalysisContext,
+    Detector,
+    DisconnectedRoleDetector,
+    DuplicateRolesDetector,
+    SimilarRolesDetector,
+    SingleAssignmentDetector,
+    StandaloneNodeDetector,
+)
+from repro.core.report import Report
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis, InefficiencyType
+from repro.exceptions import ConfigurationError
+
+#: All five taxonomy types, in paper order.
+ALL_TYPES: tuple[InefficiencyType, ...] = (
+    InefficiencyType.STANDALONE_NODE,
+    InefficiencyType.DISCONNECTED_ROLE,
+    InefficiencyType.SINGLE_ASSIGNMENT_ROLE,
+    InefficiencyType.DUPLICATE_ROLES,
+    InefficiencyType.SIMILAR_ROLES,
+)
+
+#: Extension detectors beyond the paper's taxonomy (opt-in).
+EXTENSION_TYPES: tuple[InefficiencyType, ...] = (
+    InefficiencyType.SHADOWED_ROLE,
+)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Configuration for a full inefficiency analysis.
+
+    Parameters
+    ----------
+    enabled_types:
+        Which taxonomy types to detect (all five by default).
+    finder:
+        Group-finder name for types 4-5: ``"cooccurrence"`` (default,
+        the paper's algorithm), ``"dbscan"``, ``"hnsw"``, or ``"hash"``.
+    finder_options:
+        Extra keyword arguments for the finder factory (e.g. HNSW ``m``).
+    similarity_threshold:
+        The administrator threshold k for type 5 (default 1 — "all but
+        one", as in the paper's real-data experiment).
+    axes:
+        Axes analysed by types 4-5; both by default.
+    collapse_duplicates:
+        Whether type 5 collapses exact duplicates before grouping.
+    """
+
+    enabled_types: tuple[InefficiencyType, ...] = ALL_TYPES
+    finder: str = "cooccurrence"
+    finder_options: dict = field(default_factory=dict)
+    similarity_threshold: int = 1
+    axes: tuple[Axis, ...] = (Axis.USERS, Axis.PERMISSIONS)
+    collapse_duplicates: bool = True
+
+    @classmethod
+    def with_extensions(cls, **kwargs) -> "AnalysisConfig":
+        """A configuration with the paper's five types plus every
+        extension detector (currently: shadowed roles)."""
+        kwargs.setdefault("enabled_types", ALL_TYPES + EXTENSION_TYPES)
+        return cls(**kwargs)
+
+    def __post_init__(self) -> None:
+        if self.similarity_threshold < 1:
+            raise ConfigurationError(
+                "similarity_threshold must be >= 1 "
+                f"(got {self.similarity_threshold})"
+            )
+        unknown = [
+            t for t in self.enabled_types if not isinstance(t, InefficiencyType)
+        ]
+        if unknown:
+            raise ConfigurationError(f"not inefficiency types: {unknown!r}")
+
+
+class AnalysisEngine:
+    """Runs the configured detectors and assembles a report."""
+
+    def __init__(self, config: AnalysisConfig | None = None) -> None:
+        self.config = config or AnalysisConfig()
+        self._detectors = self._build_detectors(self.config)
+
+    @staticmethod
+    def _build_detectors(config: AnalysisConfig) -> list[Detector]:
+        from repro.core.grouping import make_group_finder
+
+        detectors: list[Detector] = []
+        enabled = set(config.enabled_types)
+        if InefficiencyType.STANDALONE_NODE in enabled:
+            detectors.append(StandaloneNodeDetector())
+        if InefficiencyType.DISCONNECTED_ROLE in enabled:
+            detectors.append(DisconnectedRoleDetector())
+        if InefficiencyType.SINGLE_ASSIGNMENT_ROLE in enabled:
+            detectors.append(SingleAssignmentDetector())
+        if InefficiencyType.DUPLICATE_ROLES in enabled:
+            detectors.append(
+                DuplicateRolesDetector(
+                    finder=make_group_finder(
+                        config.finder, **config.finder_options
+                    ),
+                    axes=config.axes,
+                )
+            )
+        if InefficiencyType.SIMILAR_ROLES in enabled:
+            detectors.append(
+                SimilarRolesDetector(
+                    max_differences=config.similarity_threshold,
+                    finder=make_group_finder(
+                        config.finder, **config.finder_options
+                    ),
+                    axes=config.axes,
+                    collapse_duplicates=config.collapse_duplicates,
+                )
+            )
+        if InefficiencyType.SHADOWED_ROLE in enabled:
+            from repro.core.detectors.shadowed import ShadowedRoleDetector
+
+            detectors.append(ShadowedRoleDetector())
+        return detectors
+
+    @property
+    def detectors(self) -> list[Detector]:
+        """The detector instances this engine will run (in order)."""
+        return list(self._detectors)
+
+    def analyze(self, state: RbacState) -> Report:
+        """Run every enabled detector over ``state``.
+
+        Detection is read-only: the state is not modified, and findings
+        are never applied automatically (§III-A: every instance must be
+        reviewed by an administrator).
+        """
+        context = AnalysisContext(state)
+        findings = []
+        timings: dict[str, float] = {}
+        total_start = time.perf_counter()
+        # Build RUAM/RPAM up front so matrix-construction cost is
+        # attributed to its own timing bucket rather than to whichever
+        # detector happens to run first (the paper computes the matrices
+        # once and reuses them across all inefficiency types).
+        build_start = time.perf_counter()
+        context.ruam
+        context.rpam
+        timings["matrix_build"] = time.perf_counter() - build_start
+        for detector in self._detectors:
+            start = time.perf_counter()
+            findings.extend(detector.detect(context))
+            timings[detector.name] = time.perf_counter() - start
+        total = time.perf_counter() - total_start
+        return Report(
+            state=state,
+            findings=findings,
+            timings=timings,
+            total_seconds=total,
+            config=self.config,
+        )
+
+
+def analyze(
+    state: RbacState, config: AnalysisConfig | None = None
+) -> Report:
+    """One-shot convenience wrapper: ``AnalysisEngine(config).analyze(state)``."""
+    return AnalysisEngine(config).analyze(state)

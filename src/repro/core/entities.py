@@ -1,0 +1,93 @@
+"""Entity value types: users, roles, permissions.
+
+Entities are immutable records identified by an opaque string id.  All
+relationship data (who is assigned to what) lives in
+:class:`repro.core.state.RbacState`, not on the entities themselves, so an
+entity can be shared between states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from types import MappingProxyType
+from typing import Any, Mapping
+
+
+class EntityKind(str, Enum):
+    """The three node kinds of the RBAC tripartite graph."""
+
+    USER = "user"
+    ROLE = "role"
+    PERMISSION = "permission"
+
+
+def _frozen_attributes(attributes: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    return MappingProxyType(dict(attributes or {}))
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """A human or service identity.
+
+    ``attributes`` holds free-form metadata (department, country, …) that
+    the library carries through loads/saves but never interprets.
+    """
+
+    id: str
+    name: str = ""
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_id(self.id, EntityKind.USER)
+        object.__setattr__(self, "attributes", _frozen_attributes(self.attributes))
+
+    @property
+    def kind(self) -> EntityKind:
+        return EntityKind.USER
+
+
+@dataclass(frozen=True, slots=True)
+class Role:
+    """A named bundle of permissions assignable to users."""
+
+    id: str
+    name: str = ""
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_id(self.id, EntityKind.ROLE)
+        object.__setattr__(self, "attributes", _frozen_attributes(self.attributes))
+
+    @property
+    def kind(self) -> EntityKind:
+        return EntityKind.ROLE
+
+
+@dataclass(frozen=True, slots=True)
+class Permission:
+    """An atomic entitlement (an action on a resource)."""
+
+    id: str
+    name: str = ""
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _validate_id(self.id, EntityKind.PERMISSION)
+        object.__setattr__(self, "attributes", _frozen_attributes(self.attributes))
+
+    @property
+    def kind(self) -> EntityKind:
+        return EntityKind.PERMISSION
+
+
+Entity = User | Role | Permission
+
+
+def _validate_id(identifier: str, kind: EntityKind) -> None:
+    if not isinstance(identifier, str):
+        raise TypeError(
+            f"{kind.value} id must be a string, got {type(identifier).__name__}"
+        )
+    if not identifier:
+        raise ValueError(f"{kind.value} id must be a non-empty string")

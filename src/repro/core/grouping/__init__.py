@@ -1,0 +1,48 @@
+"""Role group finders — the three approaches of §III-C plus two extras.
+
+A *group finder* takes a roles-by-X boolean matrix and returns groups of
+row indices whose rows are identical (``max_differences = 0``) or differ in
+at most ``max_differences`` positions.  All finders share the semantics
+documented on :class:`~repro.core.grouping.base.GroupFinder`:
+
+* exact duplicates → equivalence classes of row equality;
+* similar roles → connected components of the "Hamming ≤ k" graph.
+
+Implementations:
+
+* :class:`CooccurrenceGroupFinder` — the paper's custom algorithm
+  (sparse ``M·Mᵀ`` co-occurrence counting); exact and deterministic.
+* :class:`DbscanGroupFinder` — the exact-clustering baseline (DBSCAN,
+  Hamming metric, ``min_samples=2``, ``eps = k + ε``).
+* :class:`HnswGroupFinder` — the approximate baseline (HNSW index,
+  Manhattan metric, one radius query per role); may miss members.
+* :class:`HashGroupFinder` — ablation: content-hash grouping, exact
+  duplicates only.
+* :class:`LshGroupFinder` — extension: MinHash LSH candidates with exact
+  verification (complete at k = 0, sound at k >= 1); see ``repro.lsh``.
+"""
+
+from repro.core.grouping.base import (
+    GROUP_FINDERS,
+    GroupFinder,
+    make_group_finder,
+)
+from repro.core.grouping.cooccurrence import CooccurrenceGroupFinder
+from repro.core.grouping.exact_dbscan import DbscanGroupFinder
+from repro.core.grouping.approximate_hnsw import HnswGroupFinder
+from repro.core.grouping.hashing import HashGroupFinder
+
+# The MinHash-LSH finder lives in its own substrate package; importing it
+# here registers it under the name "lsh" alongside the paper's methods.
+from repro.lsh.finder import LshGroupFinder
+
+__all__ = [
+    "GroupFinder",
+    "GROUP_FINDERS",
+    "make_group_finder",
+    "CooccurrenceGroupFinder",
+    "DbscanGroupFinder",
+    "HnswGroupFinder",
+    "HashGroupFinder",
+    "LshGroupFinder",
+]

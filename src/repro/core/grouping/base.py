@@ -1,0 +1,118 @@
+"""Common interface and registry for role group finders."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, TYPE_CHECKING
+
+import numpy.typing as npt
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.types import BoolMatrix, as_bool_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.matrices import AssignmentMatrix
+
+#: Input accepted by every finder: a labelled assignment matrix, a dense
+#: boolean array-like, or a scipy sparse matrix.
+MatrixLike = "AssignmentMatrix | npt.ArrayLike | sp.spmatrix"
+
+
+class GroupFinder(ABC):
+    """Finds groups of identical or similar rows in a boolean matrix.
+
+    Semantics
+    ---------
+    ``find_groups(matrix, max_differences=k)`` returns groups of row
+    indices such that:
+
+    * for ``k = 0`` every group is a maximal set of rows with identical
+      content (an equivalence class);
+    * for ``k >= 1`` every group is a connected component of the graph
+      whose edges join rows at Hamming distance ``<= k``.
+
+    Groups always have at least two members, members are sorted ascending,
+    and groups are ordered by their smallest member.  Exact finders return
+    these groups completely; the approximate finder may miss rows or whole
+    groups (the trade-off the paper evaluates).
+    """
+
+    #: Registry key and display name, set by subclasses.
+    name: str = ""
+
+    @abstractmethod
+    def find_groups(
+        self, matrix: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Return groups of row indices (see class docstring)."""
+
+    # ------------------------------------------------------------------
+    # Input normalisation shared by implementations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dense_of(matrix: Any) -> BoolMatrix:
+        """Coerce any accepted input into a dense boolean matrix."""
+        dense_attr = getattr(matrix, "dense", None)
+        if dense_attr is not None and getattr(matrix, "row_ids", None) is not None:
+            return dense_attr  # AssignmentMatrix
+        if sp.issparse(matrix):
+            import numpy as np
+
+            return np.asarray(matrix.todense()).astype(bool)
+        return as_bool_matrix(matrix)
+
+    @staticmethod
+    def _csr_of(matrix: Any) -> sp.csr_matrix:
+        """Coerce any accepted input into an int64 CSR matrix."""
+        from repro.bitmatrix import to_csr
+
+        csr_attr = getattr(matrix, "csr", None)
+        if csr_attr is not None and getattr(matrix, "row_ids", None) is not None:
+            return csr_attr  # AssignmentMatrix
+        return to_csr(matrix)
+
+    @staticmethod
+    def _check_threshold(max_differences: int) -> int:
+        if max_differences < 0:
+            raise ConfigurationError(
+                f"max_differences must be >= 0, got {max_differences}"
+            )
+        return int(max_differences)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: name -> factory registry, populated by the implementation modules.
+GROUP_FINDERS: dict[str, Callable[..., GroupFinder]] = {}
+
+
+def register_group_finder(
+    name: str,
+) -> Callable[[type[GroupFinder]], type[GroupFinder]]:
+    """Class decorator adding a finder class to :data:`GROUP_FINDERS`."""
+
+    def decorator(cls: type[GroupFinder]) -> type[GroupFinder]:
+        cls.name = name
+        GROUP_FINDERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_group_finder(name: str, **kwargs: Any) -> GroupFinder:
+    """Instantiate a registered group finder by name.
+
+    Known names: ``cooccurrence`` (the paper's custom algorithm),
+    ``dbscan`` (exact clustering), ``hnsw`` (approximate clustering),
+    ``hash`` (exact duplicates only).
+    """
+    try:
+        factory = GROUP_FINDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(GROUP_FINDERS))
+        raise ConfigurationError(
+            f"unknown group finder {name!r}; expected one of: {known}"
+        ) from None
+    return factory(**kwargs)

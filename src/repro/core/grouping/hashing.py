@@ -1,0 +1,45 @@
+"""Ablation group finder: exact duplicates via content hashing.
+
+Not part of the paper's three approaches — included to quantify the design
+choice behind the custom algorithm.  For ``max_differences = 0`` grouping
+identical rows is a dictionary build over per-row content keys, which is
+the theoretical lower bound for this sub-problem.  It cannot handle
+``max_differences >= 1`` at all, which is precisely why the paper's
+algorithm is built on co-occurrence counts instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bitmatrix import BitMatrix
+from repro.core.grouping.base import GroupFinder, register_group_finder
+from repro.exceptions import ConfigurationError
+
+
+@register_group_finder("hash")
+class HashGroupFinder(GroupFinder):
+    """Exact-duplicate grouping by hashing packed rows (k = 0 only)."""
+
+    def find_groups(
+        self, matrix: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        k = self._check_threshold(max_differences)
+        if k != 0:
+            raise ConfigurationError(
+                "HashGroupFinder only supports max_differences=0; "
+                "use 'cooccurrence', 'dbscan', or 'hnsw' for similarity"
+            )
+        import scipy.sparse as sp
+
+        from repro.bitmatrix import equal_row_groups_sparse
+
+        if sp.issparse(matrix) or getattr(matrix, "csr", None) is not None:
+            # Sparse path never densifies — scales to the real dataset.
+            return equal_row_groups_sparse(self._csr_of(matrix))
+        bits_attr = getattr(matrix, "bits", None)
+        if isinstance(bits_attr, BitMatrix):
+            bits = bits_attr
+        else:
+            bits = BitMatrix(self._dense_of(matrix))
+        return bits.equal_row_groups()

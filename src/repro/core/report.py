@@ -1,0 +1,266 @@
+"""Analysis reports: findings, statistics, and renderers.
+
+A :class:`Report` bundles the findings of one analysis run with summary
+statistics shaped like the paper's §IV-B narrative (one count per
+inefficiency type and axis) and renders to plain text, Markdown, or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import (
+    Axis,
+    Finding,
+    InefficiencyType,
+    sort_findings,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import AnalysisConfig
+
+
+@dataclass
+class Report:
+    """The result of one analysis run."""
+
+    state: RbacState
+    findings: list[Finding]
+    timings: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    config: "AnalysisConfig | None" = None
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def of_type(self, kind: InefficiencyType) -> list[Finding]:
+        """Findings of one taxonomy type, in detection order."""
+        return [f for f in self.findings if f.type is kind]
+
+    def on_axis(
+        self, kind: InefficiencyType, axis: Axis
+    ) -> list[Finding]:
+        """Findings of one type restricted to one axis."""
+        return [f for f in self.findings if f.type is kind and f.axis is axis]
+
+    def sorted_findings(self) -> list[Finding]:
+        """Findings ordered for administrator review (severity first)."""
+        return sort_findings(self.findings)
+
+    # ------------------------------------------------------------------
+    # Statistics (the paper's §IV-B table shape)
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """One count per (type, axis/kind) bucket, in paper order.
+
+        Group findings (types 4-5) are counted in *roles involved*, not in
+        number of groups, matching how the paper reports "8,000 roles
+        sharing the same users".
+        """
+        standalone = self.of_type(InefficiencyType.STANDALONE_NODE)
+        return {
+            "standalone_users": _count_kind(standalone, EntityKind.USER),
+            "standalone_permissions": _count_kind(
+                standalone, EntityKind.PERMISSION
+            ),
+            "standalone_roles": _count_kind(standalone, EntityKind.ROLE),
+            "roles_without_users": len(
+                self.on_axis(InefficiencyType.DISCONNECTED_ROLE, Axis.USERS)
+            ),
+            "roles_without_permissions": len(
+                self.on_axis(
+                    InefficiencyType.DISCONNECTED_ROLE, Axis.PERMISSIONS
+                )
+            ),
+            "single_user_roles": len(
+                self.on_axis(
+                    InefficiencyType.SINGLE_ASSIGNMENT_ROLE, Axis.USERS
+                )
+            ),
+            "single_permission_roles": len(
+                self.on_axis(
+                    InefficiencyType.SINGLE_ASSIGNMENT_ROLE, Axis.PERMISSIONS
+                )
+            ),
+            "roles_same_users": _roles_in_groups(
+                self.on_axis(InefficiencyType.DUPLICATE_ROLES, Axis.USERS)
+            ),
+            "roles_same_permissions": _roles_in_groups(
+                self.on_axis(
+                    InefficiencyType.DUPLICATE_ROLES, Axis.PERMISSIONS
+                )
+            ),
+            "roles_similar_users": _roles_in_groups(
+                self.on_axis(InefficiencyType.SIMILAR_ROLES, Axis.USERS)
+            ),
+            "roles_similar_permissions": _roles_in_groups(
+                self.on_axis(InefficiencyType.SIMILAR_ROLES, Axis.PERMISSIONS)
+            ),
+        }
+
+    def extension_counts(self) -> dict[str, int]:
+        """Counts for extension detectors (outside the paper's table).
+
+        Keys appear regardless of whether the extension detectors ran,
+        so dashboards can rely on the shape; values are 0 when disabled.
+        """
+        return {
+            "shadowed_roles": len(
+                self.of_type(InefficiencyType.SHADOWED_ROLE)
+            ),
+        }
+
+    def consolidation_potential(self) -> dict[str, Any]:
+        """How many roles consolidation of type-4 groups could remove.
+
+        Keeping one representative per duplicate group removes
+        ``group size - 1`` roles; the paper's headline is that this alone
+        is ~10% of all roles in the real dataset.
+        """
+        removable_users = sum(
+            f.group.redundant_count
+            for f in self.on_axis(InefficiencyType.DUPLICATE_ROLES, Axis.USERS)
+            if f.group is not None
+        )
+        removable_permissions = sum(
+            f.group.redundant_count
+            for f in self.on_axis(
+                InefficiencyType.DUPLICATE_ROLES, Axis.PERMISSIONS
+            )
+            if f.group is not None
+        )
+        n_roles = self.state.n_roles
+        removable = removable_users + removable_permissions
+        return {
+            "removable_via_same_users": removable_users,
+            "removable_via_same_permissions": removable_permissions,
+            "removable_total_upper_bound": removable,
+            "total_roles": n_roles,
+            "fraction_of_roles": (removable / n_roles) if n_roles else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation of the whole report."""
+        return {
+            "dataset": {
+                "users": self.state.n_users,
+                "roles": self.state.n_roles,
+                "permissions": self.state.n_permissions,
+                "user_assignments": self.state.n_user_assignments,
+                "permission_assignments": self.state.n_permission_assignments,
+            },
+            "counts": self.counts(),
+            "consolidation": self.consolidation_potential(),
+            "timings_seconds": dict(self.timings),
+            "total_seconds": self.total_seconds,
+            "n_findings": len(self.findings),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_text(self, max_findings: int = 20) -> str:
+        """Human-readable summary (the CLI's default output)."""
+        lines = [
+            "RBAC inefficiency report",
+            "========================",
+            f"dataset: {self.state.n_users} users, {self.state.n_roles} "
+            f"roles, {self.state.n_permissions} permissions",
+            f"analysis time: {self.total_seconds:.3f}s",
+            "",
+            "counts by inefficiency:",
+        ]
+        for key, value in self.counts().items():
+            lines.append(f"  {key:<28} {value:>8}")
+        consolidation = self.consolidation_potential()
+        lines.append("")
+        lines.append(
+            "consolidating duplicate-role groups could remove up to "
+            f"{consolidation['removable_total_upper_bound']} roles "
+            f"({consolidation['fraction_of_roles']:.1%} of all roles)"
+        )
+        shown = self.sorted_findings()[:max_findings]
+        if shown:
+            lines.append("")
+            lines.append(f"top findings (showing {len(shown)} of "
+                         f"{len(self.findings)}):")
+            for finding in shown:
+                lines.append(
+                    f"  [{finding.severity.value:>6}] {finding.message}"
+                )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Findings as CSV (one row per finding) for spreadsheet triage.
+
+        Columns: severity, type, axis, entity_kind, entity_ids
+        (;-separated), message.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["severity", "type", "axis", "entity_kind", "entity_ids",
+             "message"]
+        )
+        for finding in self.sorted_findings():
+            writer.writerow(
+                [
+                    finding.severity.value,
+                    finding.type.value,
+                    finding.axis.value if finding.axis else "",
+                    finding.entity_kind.value,
+                    ";".join(finding.entity_ids),
+                    finding.message,
+                ]
+            )
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        """Markdown rendering with the counts as a table."""
+        lines = [
+            "# RBAC inefficiency report",
+            "",
+            f"- **Users:** {self.state.n_users}",
+            f"- **Roles:** {self.state.n_roles}",
+            f"- **Permissions:** {self.state.n_permissions}",
+            f"- **Analysis time:** {self.total_seconds:.3f}s",
+            "",
+            "| Inefficiency | Count |",
+            "|---|---:|",
+        ]
+        for key, value in self.counts().items():
+            lines.append(f"| {key.replace('_', ' ')} | {value} |")
+        consolidation = self.consolidation_potential()
+        lines.append("")
+        lines.append(
+            f"Consolidation could remove up to "
+            f"**{consolidation['removable_total_upper_bound']}** roles "
+            f"({consolidation['fraction_of_roles']:.1%})."
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Report(findings={len(self.findings)}, "
+            f"total_seconds={self.total_seconds:.3f})"
+        )
+
+
+def _count_kind(findings: Iterable[Finding], kind: EntityKind) -> int:
+    return sum(1 for f in findings if f.entity_kind is kind)
+
+
+def _roles_in_groups(findings: Iterable[Finding]) -> int:
+    """Total roles involved across group findings."""
+    return sum(len(f.entity_ids) for f in findings)

@@ -1,0 +1,62 @@
+"""Synthetic RBAC data generators.
+
+Three generators at increasing levels of structure:
+
+* :mod:`~repro.datagen.matrixgen` — the paper's §IV-A generator: a bare
+  RUAM/RPAM-like boolean matrix with a controlled fraction of rows placed
+  in identical (or near-identical) clusters; used by the Figure 2/3
+  timing experiments, with ground-truth groups returned for recall
+  checks.
+* :mod:`~repro.datagen.orggen` — the §IV-B stand-in for the proprietary
+  real-organisation dataset: a full :class:`~repro.core.state.RbacState`
+  with every inefficiency type *planted in exact, verifiable quantities*.
+* :mod:`~repro.datagen.realistic` — a department-shaped organisation
+  generator (skewed department sizes, shared baseline roles) used by the
+  examples; structurally plausible rather than count-exact.
+
+:mod:`~repro.datagen.planting` offers surgical helpers to inject a single
+inefficiency into an existing state (used heavily by the test suite).
+"""
+
+from repro.datagen.matrixgen import GeneratedMatrix, MatrixSpec, generate_matrix
+from repro.datagen.orggen import (
+    GeneratedOrg,
+    OrgProfile,
+    PlantedCounts,
+    generate_org,
+)
+from repro.datagen.planting import (
+    add_role_twin,
+    add_similar_role,
+    add_single_assignment_role,
+    add_standalone_permission,
+    add_standalone_role,
+    add_standalone_user,
+)
+from repro.datagen.hierarchygen import (
+    GeneratedHierarchicalOrg,
+    HierarchicalOrgProfile,
+    generate_hierarchical_org,
+)
+from repro.datagen.realistic import DepartmentProfile, generate_departmental_org
+
+__all__ = [
+    "GeneratedMatrix",
+    "MatrixSpec",
+    "generate_matrix",
+    "GeneratedOrg",
+    "OrgProfile",
+    "PlantedCounts",
+    "generate_org",
+    "DepartmentProfile",
+    "GeneratedHierarchicalOrg",
+    "HierarchicalOrgProfile",
+    "generate_hierarchical_org",
+    "generate_departmental_org",
+    "add_role_twin",
+    "add_similar_role",
+    "add_single_assignment_role",
+    "add_standalone_permission",
+    "add_standalone_role",
+    "add_standalone_user",
+]

@@ -1,0 +1,173 @@
+"""Hierarchical organisation generator (RBAC1 demo data).
+
+Builds a departmental organisation *with* a role-inheritance DAG and a
+verifiable ground truth for the hierarchy-specific inefficiencies:
+
+* per department, a seniority ladder ``lead → senior → member`` where
+  each rank adds its own permissions and inherits downward;
+* a configurable number of **redundant edges** planted as explicit
+  ``lead → member`` shortcuts (already implied transitively);
+* a configurable number of **void edges** planted by pointing a lead at
+  an empty "placeholder" role that grants nothing;
+* a configurable number of **hidden duplicates**: role pairs whose
+  direct grants differ but whose *flattened* permission sets coincide —
+  invisible to flat analysis, surfaced by
+  :func:`repro.hierarchy.flatten`.
+
+Counts are exact by construction and asserted by the test suite, in the
+same spirit as :mod:`repro.datagen.orggen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entities import Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+from repro.hierarchy import RoleHierarchy
+
+
+@dataclass(frozen=True)
+class HierarchicalOrgProfile:
+    """Parameters of the hierarchical generator."""
+
+    n_departments: int = 6
+    users_per_department: int = 30
+    permissions_per_rank: int = 4
+    redundant_edges: int = 2
+    void_edges: int = 2
+    hidden_duplicate_pairs: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_departments < 1:
+            raise ConfigurationError("need at least one department")
+        if self.users_per_department < 3:
+            raise ConfigurationError("need at least 3 users per department")
+        if self.permissions_per_rank < 1:
+            raise ConfigurationError("need at least 1 permission per rank")
+        for name in ("redundant_edges", "void_edges",
+                     "hidden_duplicate_pairs"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+            if getattr(self, name) > self.n_departments:
+                raise ConfigurationError(
+                    f"{name} cannot exceed n_departments "
+                    f"(one planting per department)"
+                )
+
+
+@dataclass
+class GeneratedHierarchicalOrg:
+    """Generator output with its ground truth."""
+
+    profile: HierarchicalOrgProfile
+    state: RbacState
+    hierarchy: RoleHierarchy
+    planted_redundant_edges: list[tuple[str, str]]
+    planted_void_edges: list[tuple[str, str]]
+    planted_hidden_duplicates: list[tuple[str, str]]
+
+
+def generate_hierarchical_org(
+    profile: HierarchicalOrgProfile,
+) -> GeneratedHierarchicalOrg:
+    """Build the organisation described in the module docstring."""
+    rng = np.random.default_rng(profile.seed)
+    state = RbacState()
+    hierarchy = RoleHierarchy()
+    redundant: list[tuple[str, str]] = []
+    void: list[tuple[str, str]] = []
+    hidden: list[tuple[str, str]] = []
+
+    user_counter = 0
+    for dept in range(profile.n_departments):
+        member_role = f"d{dept:02d}-member"
+        senior_role = f"d{dept:02d}-senior"
+        lead_role = f"d{dept:02d}-lead"
+        for role_id in (member_role, senior_role, lead_role):
+            state.add_role(
+                Role(role_id, attributes={"department": f"d{dept:02d}"})
+            )
+        hierarchy.add_inheritance(senior_role, member_role)
+        hierarchy.add_inheritance(lead_role, senior_role)
+
+        # Rank-specific permissions.
+        rank_permissions: dict[str, list[str]] = {}
+        for rank, role_id in (
+            ("member", member_role),
+            ("senior", senior_role),
+            ("lead", lead_role),
+        ):
+            grants = [
+                f"d{dept:02d}-{rank}-p{i}"
+                for i in range(profile.permissions_per_rank)
+            ]
+            for permission_id in grants:
+                state.add_permission(Permission(permission_id))
+                state.assign_permission(role_id, permission_id)
+            rank_permissions[rank] = grants
+
+        # Users split across the three ranks (every rank gets >= 1).
+        n = profile.users_per_department
+        n_lead = max(1, n // 10)
+        n_senior = max(1, n // 3)
+        for index in range(n):
+            user_id = f"u{user_counter:05d}"
+            user_counter += 1
+            state.add_user(
+                User(user_id, attributes={"department": f"d{dept:02d}"})
+            )
+            if index < n_lead:
+                state.assign_user(lead_role, user_id)
+            elif index < n_lead + n_senior:
+                state.assign_user(senior_role, user_id)
+            else:
+                state.assign_user(member_role, user_id)
+
+        # Planted redundant edge: lead -> member (implied via senior).
+        if dept < profile.redundant_edges:
+            hierarchy.add_inheritance(lead_role, member_role)
+            redundant.append((lead_role, member_role))
+
+        # Planted void edge: lead -> empty placeholder role.
+        if dept < profile.void_edges:
+            placeholder = f"d{dept:02d}-placeholder"
+            state.add_role(
+                Role(placeholder, attributes={"placeholder": True})
+            )
+            hierarchy.add_inheritance(lead_role, placeholder)
+            void.append((lead_role, placeholder))
+
+        # Planted hidden duplicate: a standalone "shadow-senior" role that
+        # directly grants exactly what senior grants *effectively*
+        # (member + senior permissions).  Flat permission sets differ
+        # (senior's direct set lacks member's), flattened sets coincide.
+        if dept < profile.hidden_duplicate_pairs:
+            shadow = f"d{dept:02d}-shadow-senior"
+            state.add_role(Role(shadow, attributes={"shadow": True}))
+            for permission_id in (
+                rank_permissions["member"] + rank_permissions["senior"]
+            ):
+                state.assign_permission(shadow, permission_id)
+            shadow_user = f"u{user_counter:05d}"
+            user_counter += 1
+            state.add_user(User(shadow_user))
+            state.assign_user(shadow, shadow_user)
+            # a second member so the shadow role is not single-user
+            state.assign_user(
+                shadow, str(rng.choice(state.user_ids()[:n]))
+            )
+            hidden.append((senior_role, shadow))
+
+    return GeneratedHierarchicalOrg(
+        profile=profile,
+        state=state,
+        hierarchy=hierarchy,
+        planted_redundant_edges=redundant,
+        planted_void_edges=void,
+        planted_hidden_duplicates=hidden,
+    )

@@ -1,0 +1,113 @@
+"""Surgical inefficiency injection into an existing RBAC state.
+
+Each helper plants exactly one inefficiency instance and returns the ids
+it created, so tests and demos can assert that the detectors find
+precisely what was planted.  All helpers mutate the state in place.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.core.entities import Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+
+
+def _fresh_id(state: RbacState, prefix: str, exists) -> str:
+    """First ``{prefix}{n}`` id not present in the state."""
+    for n in count():
+        candidate = f"{prefix}{n}"
+        if not exists(candidate):
+            return candidate
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def add_standalone_user(state: RbacState, user_id: str | None = None) -> str:
+    """Add a user with no role assignments (a type-1 finding)."""
+    user_id = user_id or _fresh_id(state, "standalone-user-", state.has_user)
+    state.add_user(User(user_id))
+    return user_id
+
+
+def add_standalone_permission(
+    state: RbacState, permission_id: str | None = None
+) -> str:
+    """Add a permission linked to no role (a type-1 finding)."""
+    permission_id = permission_id or _fresh_id(
+        state, "standalone-permission-", state.has_permission
+    )
+    state.add_permission(Permission(permission_id))
+    return permission_id
+
+
+def add_standalone_role(state: RbacState, role_id: str | None = None) -> str:
+    """Add a role with neither users nor permissions (a type-1 finding)."""
+    role_id = role_id or _fresh_id(state, "standalone-role-", state.has_role)
+    state.add_role(Role(role_id))
+    return role_id
+
+
+def add_single_assignment_role(
+    state: RbacState,
+    user_id: str,
+    permission_ids: tuple[str, ...] = (),
+    role_id: str | None = None,
+) -> str:
+    """Add a role assigned to exactly one user (a type-3 finding).
+
+    ``permission_ids`` (optional, must already exist) keeps the role off
+    the type-2 list when non-empty.
+    """
+    role_id = role_id or _fresh_id(state, "single-user-role-", state.has_role)
+    state.add_role(Role(role_id))
+    state.assign_user(role_id, user_id)
+    for permission_id in permission_ids:
+        state.assign_permission(role_id, permission_id)
+    return role_id
+
+
+def add_role_twin(
+    state: RbacState, role_id: str, twin_id: str | None = None
+) -> str:
+    """Clone a role's user *and* permission assignments (type-4 on both
+    axes).  Returns the new role id."""
+    users = state.users_of_role(role_id)
+    permissions = state.permissions_of_role(role_id)
+    twin_id = twin_id or _fresh_id(state, f"{role_id}-twin-", state.has_role)
+    state.add_role(Role(twin_id))
+    for user_id in users:
+        state.assign_user(twin_id, user_id)
+    for permission_id in permissions:
+        state.assign_permission(twin_id, permission_id)
+    return twin_id
+
+
+def add_similar_role(
+    state: RbacState,
+    role_id: str,
+    extra_user_ids: tuple[str, ...] = (),
+    extra_permission_ids: tuple[str, ...] = (),
+    similar_id: str | None = None,
+) -> str:
+    """Clone a role and extend one side by the given extra ids (type-5).
+
+    Exactly one of ``extra_user_ids`` / ``extra_permission_ids`` should be
+    non-empty; its length is the Hamming distance to the original role on
+    that axis.
+    """
+    if bool(extra_user_ids) == bool(extra_permission_ids):
+        raise ConfigurationError(
+            "provide extra ids on exactly one axis (users or permissions)"
+        )
+    similar_id = add_role_twin(
+        state,
+        role_id,
+        twin_id=similar_id
+        or _fresh_id(state, f"{role_id}-similar-", state.has_role),
+    )
+    for user_id in extra_user_ids:
+        state.assign_user(similar_id, user_id)
+    for permission_id in extra_permission_ids:
+        state.assign_permission(similar_id, permission_id)
+    return similar_id

@@ -1,0 +1,218 @@
+"""Department-shaped organisation generator.
+
+The §IV-B generator (:mod:`repro.datagen.orggen`) plants exact counts;
+this one instead aims for *structural* realism for demos and examples:
+
+* departments with skewed (Zipf-like) head counts, as in real orgs;
+* per-department roles drawn from department-local permission namespaces;
+* a handful of company-wide baseline roles everybody holds;
+* organic inefficiency: a configurable fraction of roles are "drifted
+  copies" of existing roles — the fragmented-ownership duplication the
+  paper attributes to siloed departments — plus some forgotten users,
+  decommissioned permissions, and stale roles.
+
+No exact ground-truth counts are returned (real data does not come with
+any); run the analysis engine to discover what the drift produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entities import Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DepartmentProfile:
+    """Parameters of the departmental generator.
+
+    Parameters
+    ----------
+    n_departments:
+        Number of departments.
+    n_users:
+        Total head count, split across departments by a Zipf-like law.
+    roles_per_department:
+        Inclusive range of per-department role counts.
+    permissions_per_department:
+        Inclusive range of department-local permission counts.
+    n_baseline_roles:
+        Company-wide roles every user is assigned (badge access, email…).
+    duplication_rate:
+        Fraction of department roles that get a "drifted copy": an exact
+        clone with probability 1/2, otherwise a near-clone with one extra
+        permission.
+    stale_user_rate, stale_permission_rate:
+        Fractions of users/permissions left completely unassigned.
+    seed:
+        RNG seed.
+    """
+
+    n_departments: int = 12
+    n_users: int = 1200
+    roles_per_department: tuple[int, int] = (4, 12)
+    permissions_per_department: tuple[int, int] = (15, 40)
+    n_baseline_roles: int = 3
+    duplication_rate: float = 0.15
+    stale_user_rate: float = 0.01
+    stale_permission_rate: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_departments < 1 or self.n_users < self.n_departments:
+            raise ConfigurationError(
+                "need at least one department and one user per department"
+            )
+        if not 0.0 <= self.duplication_rate <= 1.0:
+            raise ConfigurationError("duplication_rate must be in [0, 1]")
+        for rate in (self.stale_user_rate, self.stale_permission_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError("stale rates must be in [0, 1)")
+
+
+def generate_departmental_org(profile: DepartmentProfile) -> RbacState:
+    """Build a department-structured :class:`RbacState` (see module doc)."""
+    rng = np.random.default_rng(profile.seed)
+    state = RbacState()
+
+    # --- users, split across departments by a Zipf-ish distribution --------
+    weights = 1.0 / np.arange(1, profile.n_departments + 1, dtype=np.float64)
+    weights /= weights.sum()
+    n_stale_users = int(profile.n_users * profile.stale_user_rate)
+    active_users = profile.n_users - n_stale_users
+    department_sizes = rng.multinomial(active_users, weights)
+    # Every department keeps at least one member.
+    for dept in range(profile.n_departments):
+        if department_sizes[dept] == 0:
+            donor = int(np.argmax(department_sizes))
+            department_sizes[donor] -= 1
+            department_sizes[dept] += 1
+
+    department_users: list[list[str]] = []
+    user_counter = 0
+    for dept, size in enumerate(department_sizes):
+        members = []
+        for _ in range(int(size)):
+            user_id = f"user-{user_counter:05d}"
+            state.add_user(
+                User(user_id, attributes={"department": f"dept-{dept:02d}"})
+            )
+            members.append(user_id)
+            user_counter += 1
+        department_users.append(members)
+    for _ in range(n_stale_users):
+        state.add_user(
+            User(f"user-{user_counter:05d}", attributes={"stale": True})
+        )
+        user_counter += 1
+
+    # --- permissions: shared + per-department namespaces --------------------
+    shared_permissions = [f"perm-shared-{i:03d}" for i in range(20)]
+    for permission_id in shared_permissions:
+        state.add_permission(Permission(permission_id))
+    department_permissions: list[list[str]] = []
+    for dept in range(profile.n_departments):
+        low, high = profile.permissions_per_department
+        n_perms = int(rng.integers(low, high + 1))
+        namespace = []
+        for i in range(n_perms):
+            permission_id = f"perm-d{dept:02d}-{i:03d}"
+            state.add_permission(
+                Permission(
+                    permission_id,
+                    attributes={"department": f"dept-{dept:02d}"},
+                )
+            )
+            namespace.append(permission_id)
+        department_permissions.append(namespace)
+
+    # --- baseline roles everyone holds --------------------------------------
+    all_active_users = [u for members in department_users for u in members]
+    for i in range(profile.n_baseline_roles):
+        role_id = f"role-baseline-{i:02d}"
+        state.add_role(Role(role_id, attributes={"baseline": True}))
+        grants = rng.choice(
+            shared_permissions,
+            size=min(4, len(shared_permissions)),
+            replace=False,
+        )
+        for permission_id in grants:
+            state.assign_permission(role_id, str(permission_id))
+        for user_id in all_active_users:
+            state.assign_user(role_id, user_id)
+
+    # --- department roles (with drifted copies) -----------------------------
+    role_counter = 0
+    for dept in range(profile.n_departments):
+        members = department_users[dept]
+        namespace = department_permissions[dept]
+        low, high = profile.roles_per_department
+        n_roles = int(rng.integers(low, high + 1))
+        department_role_ids = []
+        for _ in range(n_roles):
+            role_id = f"role-{role_counter:04d}"
+            role_counter += 1
+            state.add_role(
+                Role(role_id, attributes={"department": f"dept-{dept:02d}"})
+            )
+            department_role_ids.append(role_id)
+            n_members = int(rng.integers(1, max(2, len(members) // 2) + 1))
+            for user_id in rng.choice(
+                members, size=min(n_members, len(members)), replace=False
+            ):
+                state.assign_user(role_id, str(user_id))
+            n_grants = int(rng.integers(1, min(8, len(namespace)) + 1))
+            for permission_id in rng.choice(
+                namespace, size=n_grants, replace=False
+            ):
+                state.assign_permission(role_id, str(permission_id))
+
+        # Drifted copies: the siloed-ownership duplication of the paper.
+        n_copies = int(round(len(department_role_ids) * profile.duplication_rate))
+        for original in rng.choice(
+            department_role_ids,
+            size=min(n_copies, len(department_role_ids)),
+            replace=False,
+        ):
+            role_id = f"role-{role_counter:04d}"
+            role_counter += 1
+            state.add_role(
+                Role(
+                    role_id,
+                    attributes={
+                        "department": f"dept-{dept:02d}",
+                        "copy_of": str(original),
+                    },
+                )
+            )
+            for user_id in state.users_of_role(str(original)):
+                state.assign_user(role_id, user_id)
+            for permission_id in state.permissions_of_role(str(original)):
+                state.assign_permission(role_id, permission_id)
+            if rng.random() < 0.5:
+                unused = [
+                    p
+                    for p in namespace
+                    if p not in state.permissions_of_role(role_id)
+                ]
+                if unused:
+                    state.assign_permission(
+                        role_id, str(rng.choice(unused))
+                    )
+
+    # --- stale permissions (never assigned) ----------------------------------
+    n_stale_permissions = int(
+        state.n_permissions
+        * profile.stale_permission_rate
+        / max(1e-9, 1.0 - profile.stale_permission_rate)
+    )
+    for i in range(n_stale_permissions):
+        state.add_permission(
+            Permission(f"perm-stale-{i:04d}", attributes={"stale": True})
+        )
+
+    return state

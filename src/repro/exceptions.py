@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError):
+    """An entity, state, or matrix failed an internal consistency check."""
+
+
+class UnknownEntityError(ReproError, KeyError):
+    """An operation referenced a user, role, or permission that is absent."""
+
+    def __init__(self, kind: str, identifier: str) -> None:
+        self.kind = kind
+        self.identifier = identifier
+        super().__init__(f"unknown {kind}: {identifier!r}")
+
+
+class DuplicateEntityError(ReproError):
+    """An entity with the same identifier was added twice."""
+
+    def __init__(self, kind: str, identifier: str) -> None:
+        self.kind = kind
+        self.identifier = identifier
+        super().__init__(f"duplicate {kind}: {identifier!r}")
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters were passed to an algorithm or generator."""
+
+
+class DataFormatError(ReproError):
+    """A dataset file could not be parsed into an RBAC state."""
+
+
+class RemediationError(ReproError):
+    """A remediation plan is invalid or cannot be applied safely."""
+
+
+class SafetyViolationError(RemediationError):
+    """Applying a plan would change the effective permissions of a user.
+
+    The remediation subsystem guarantees that consolidating roles never
+    grants a user a permission they did not already have (and never takes
+    one away).  This error signals that a proposed plan breaks that
+    invariant and therefore must not be applied.
+    """

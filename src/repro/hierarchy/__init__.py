@@ -1,0 +1,46 @@
+"""Role hierarchies (RBAC1) — detection through inheritance.
+
+The paper analyses flat RBAC (RBAC0): roles relate to users and
+permissions only.  Real deployments often add *hierarchy* (RBAC1,
+Sandhu et al. 1996): a senior role inherits the permissions of its
+juniors, and a user assigned to the senior role transitively acts with
+the juniors' permissions.
+
+Hierarchy hides exactly the inefficiencies the paper hunts: two roles
+may look different on their direct assignments yet grant identical
+effective access once inheritance is resolved.  This package makes the
+flat detectors hierarchy-aware by **flattening**:
+
+* :class:`~repro.hierarchy.model.RoleHierarchy` — the inheritance DAG
+  (senior → junior edges), with cycle rejection;
+* :func:`~repro.hierarchy.model.flatten` — materialise inheritance into
+  a plain :class:`~repro.core.state.RbacState` the whole detection stack
+  (engine, group finders, remediation planner) runs on unchanged;
+* :mod:`~repro.hierarchy.inefficiencies` — hierarchy-specific findings:
+  redundant (transitive) inheritance edges and void edges that inherit
+  nothing new.
+"""
+
+from repro.hierarchy.model import (
+    RoleHierarchy,
+    flatten,
+    load_hierarchy_json,
+    save_hierarchy_json,
+)
+from repro.hierarchy.inefficiencies import (
+    HierarchyFinding,
+    find_redundant_edges,
+    find_void_edges,
+    analyze_hierarchy,
+)
+
+__all__ = [
+    "RoleHierarchy",
+    "flatten",
+    "load_hierarchy_json",
+    "save_hierarchy_json",
+    "HierarchyFinding",
+    "find_redundant_edges",
+    "find_void_edges",
+    "analyze_hierarchy",
+]

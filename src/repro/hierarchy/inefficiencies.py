@@ -1,0 +1,123 @@
+"""Hierarchy-specific inefficiencies.
+
+Two kinds of dead weight accumulate in inheritance DAGs, analogous to
+the flat-RBAC rot the paper catalogues:
+
+* **redundant edges** — a direct edge ``senior → junior`` that is also
+  implied transitively through another path; removing it changes no
+  effective access (it is exactly the transitive-reduction complement);
+* **void edges** — a direct edge through which the senior inherits no
+  *new* permission: every permission reachable through the junior is
+  already granted directly to the senior or through its other juniors.
+  The edge is pure maintenance burden.
+
+As everywhere in this library, findings are advisory; nothing is
+auto-removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.state import RbacState
+from repro.hierarchy.model import RoleHierarchy
+
+
+@dataclass(frozen=True)
+class HierarchyFinding:
+    """One advisory finding about the inheritance DAG."""
+
+    kind: str  # "redundant_edge" | "void_edge"
+    senior: str
+    junior: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "senior": self.senior,
+            "junior": self.junior,
+            "message": self.message,
+        }
+
+
+def find_redundant_edges(
+    hierarchy: RoleHierarchy,
+) -> list[HierarchyFinding]:
+    """Direct edges also implied transitively (safe to drop).
+
+    An edge ``(s, j)`` is redundant iff ``j`` is still reachable from
+    ``s`` after removing that one edge — equivalently, iff it is not in
+    the DAG's transitive reduction.
+    """
+    findings = []
+    for senior, junior in hierarchy.edges():
+        for middleman in hierarchy.direct_juniors(senior):
+            if middleman != junior and hierarchy.inherits(middleman, junior):
+                findings.append(
+                    HierarchyFinding(
+                        kind="redundant_edge",
+                        senior=senior,
+                        junior=junior,
+                        message=(
+                            f"inheritance {senior!r} -> {junior!r} is "
+                            f"already implied through {middleman!r}"
+                        ),
+                    )
+                )
+                break
+    return findings
+
+
+def find_void_edges(
+    state: RbacState, hierarchy: RoleHierarchy
+) -> list[HierarchyFinding]:
+    """Direct edges that contribute no new permission to the senior."""
+    findings = []
+    for senior, junior in hierarchy.edges():
+        # Permissions the senior would keep without this edge: its own
+        # grants plus everything through its other direct juniors.
+        kept: set[str] = set(state.permissions_of_role(senior))
+        for other in hierarchy.direct_juniors(senior):
+            if other == junior:
+                continue
+            kept.update(state.permissions_of_role(other))
+            for transitive in hierarchy.all_juniors(other):
+                kept.update(state.permissions_of_role(transitive))
+
+        gained: set[str] = set(state.permissions_of_role(junior))
+        for transitive in hierarchy.all_juniors(junior):
+            gained.update(state.permissions_of_role(transitive))
+
+        if gained <= kept:
+            findings.append(
+                HierarchyFinding(
+                    kind="void_edge",
+                    senior=senior,
+                    junior=junior,
+                    message=(
+                        f"inheritance {senior!r} -> {junior!r} grants "
+                        "nothing the senior does not already have"
+                    ),
+                )
+            )
+    return findings
+
+
+def analyze_hierarchy(
+    state: RbacState, hierarchy: RoleHierarchy
+) -> list[HierarchyFinding]:
+    """All hierarchy findings, redundant edges first.
+
+    A redundant edge is reported once even when it is also void (the
+    transitive path already explains it).
+    """
+    redundant = find_redundant_edges(hierarchy)
+    redundant_pairs = {(f.senior, f.junior) for f in redundant}
+    void = [
+        f
+        for f in find_void_edges(state, hierarchy)
+        if (f.senior, f.junior) not in redundant_pairs
+    ]
+    return redundant + void

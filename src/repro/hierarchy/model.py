@@ -1,0 +1,199 @@
+"""The role-inheritance DAG and state flattening.
+
+Semantics follow RBAC96 (Sandhu et al., 1996): for an edge
+``senior → junior``,
+
+* the senior role *inherits permissions*: its effective permission set
+  is its own grants plus every (transitive) junior's grants;
+* user membership flows the other way: a user assigned to the senior
+  role is effectively a member of every (transitive) junior role.
+
+``flatten`` materialises both closures into an ordinary
+:class:`~repro.core.state.RbacState`, so the entire flat-RBAC toolchain
+(detectors, group finders, remediation, statistics) applies unchanged —
+detection "sees through" the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.state import RbacState
+from repro.exceptions import UnknownEntityError, ValidationError
+
+
+class RoleHierarchy:
+    """An acyclic senior → junior inheritance relation over role ids.
+
+    The hierarchy is independent of any particular state; bind it to one
+    with :func:`flatten` (which validates that every referenced role
+    exists there).  Adding an edge that would create a cycle raises
+    :class:`ValidationError` immediately — a cyclic "hierarchy" would
+    make every member role grant the union of the cycle, which is never
+    intended.
+    """
+
+    def __init__(
+        self, edges: Iterable[tuple[str, str]] = ()
+    ) -> None:
+        self._juniors: dict[str, set[str]] = {}
+        self._seniors: dict[str, set[str]] = {}
+        for senior, junior in edges:
+            self.add_inheritance(senior, junior)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """Declare that ``senior`` inherits from ``junior``.
+
+        Raises :class:`ValidationError` on self-loops or cycles.
+        """
+        if senior == junior:
+            raise ValidationError(f"role {senior!r} cannot inherit itself")
+        if self.inherits(junior, senior):
+            raise ValidationError(
+                f"edge {senior!r} -> {junior!r} would create a cycle"
+            )
+        self._juniors.setdefault(senior, set()).add(junior)
+        self._seniors.setdefault(junior, set()).add(senior)
+
+    def remove_inheritance(self, senior: str, junior: str) -> None:
+        """Remove a direct edge (no-op if absent)."""
+        self._juniors.get(senior, set()).discard(junior)
+        self._seniors.get(junior, set()).discard(senior)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return sum(len(juniors) for juniors in self._juniors.values())
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All direct (senior, junior) edges, deterministic order."""
+        for senior in sorted(self._juniors):
+            for junior in sorted(self._juniors[senior]):
+                yield (senior, junior)
+
+    def roles(self) -> set[str]:
+        """Every role id mentioned by at least one edge."""
+        mentioned = set(self._juniors) | set(self._seniors)
+        return mentioned
+
+    def direct_juniors(self, role_id: str) -> frozenset[str]:
+        return frozenset(self._juniors.get(role_id, set()))
+
+    def direct_seniors(self, role_id: str) -> frozenset[str]:
+        return frozenset(self._seniors.get(role_id, set()))
+
+    def all_juniors(self, role_id: str) -> frozenset[str]:
+        """Transitive juniors of ``role_id`` (excluding itself)."""
+        return self._closure(role_id, self._juniors)
+
+    def all_seniors(self, role_id: str) -> frozenset[str]:
+        """Transitive seniors of ``role_id`` (excluding itself)."""
+        return self._closure(role_id, self._seniors)
+
+    def inherits(self, senior: str, junior: str) -> bool:
+        """Whether ``senior`` (transitively) inherits from ``junior``."""
+        return junior in self.all_juniors(senior) or senior == junior
+
+    @staticmethod
+    def _closure(
+        start: str, adjacency: dict[str, set[str]]
+    ) -> frozenset[str]:
+        seen: set[str] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return frozenset(seen)
+
+    def to_networkx(self):
+        """The inheritance DAG as a ``networkx.DiGraph`` (senior→junior)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.roles())
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"RoleHierarchy(roles={len(self.roles())}, "
+            f"edges={self.n_edges})"
+        )
+
+
+def save_hierarchy_json(hierarchy: RoleHierarchy, path) -> None:
+    """Write a hierarchy as JSON: ``{"edges": [[senior, junior], …]}``."""
+    import json
+    from pathlib import Path
+
+    document = {"format": "repro-hierarchy", "version": 1,
+                "edges": [list(edge) for edge in hierarchy.edges()]}
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_hierarchy_json(path) -> RoleHierarchy:
+    """Read a hierarchy written by :func:`save_hierarchy_json`."""
+    import json
+    from pathlib import Path
+
+    from repro.exceptions import DataFormatError
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise DataFormatError(f"invalid JSON: {error}") from error
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != "repro-hierarchy"
+    ):
+        raise DataFormatError("not a repro-hierarchy document")
+    if document.get("version") != 1:
+        raise DataFormatError(
+            f"unsupported hierarchy version: {document.get('version')!r}"
+        )
+    try:
+        edges = [
+            (str(senior), str(junior))
+            for senior, junior in document.get("edges", [])
+        ]
+        return RoleHierarchy(edges)
+    except (TypeError, ValueError) as error:
+        raise DataFormatError(f"malformed hierarchy edges: {error}") from error
+    except ValidationError as error:
+        raise DataFormatError(f"invalid hierarchy: {error}") from error
+
+
+def flatten(state: RbacState, hierarchy: RoleHierarchy) -> RbacState:
+    """Materialise inheritance into a flat state.
+
+    The result has the same entities as ``state``; each role's user set
+    additionally contains the users of all its (transitive) seniors, and
+    each role's permission set additionally contains the permissions of
+    all its (transitive) juniors.  A user's effective permissions in the
+    returned state equal their RBAC1 effective permissions in
+    ``(state, hierarchy)``.
+
+    Raises :class:`UnknownEntityError` if the hierarchy references a
+    role absent from the state.
+    """
+    for role_id in hierarchy.roles():
+        if not state.has_role(role_id):
+            raise UnknownEntityError("role", role_id)
+
+    flat = state.copy()
+    for role_id in state.role_ids():
+        for junior in hierarchy.all_juniors(role_id):
+            for permission_id in state.permissions_of_role(junior):
+                flat.assign_permission(role_id, permission_id)
+        for senior in hierarchy.all_seniors(role_id):
+            for user_id in state.users_of_role(senior):
+                flat.assign_user(role_id, user_id)
+    return flat

@@ -1,0 +1,142 @@
+"""CSV import/export for RBAC states.
+
+Real IAM platforms typically export assignment *edge lists*.  The CSV
+layout used here mirrors that: a directory containing
+
+* ``user_assignments.csv`` — header ``role_id,user_id``
+* ``permission_assignments.csv`` — header ``role_id,permission_id``
+* ``entities.csv`` (optional) — header ``kind,id,name``; lists every
+  entity, which is the only way standalone nodes (no edges anywhere)
+  survive a round-trip.
+
+Entities referenced by edges but missing from ``entities.csv`` are
+created implicitly, so plain two-file exports load fine — at the cost of
+losing standalone nodes, exactly the blind spot the paper warns RBAC
+operators about.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.entities import EntityKind, Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import DataFormatError
+
+USER_EDGES_FILE = "user_assignments.csv"
+PERMISSION_EDGES_FILE = "permission_assignments.csv"
+ENTITIES_FILE = "entities.csv"
+
+
+def save_csv(state: RbacState, directory: str | Path) -> None:
+    """Write ``state`` into ``directory`` (created if missing)."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+
+    with open(base / USER_EDGES_FILE, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["role_id", "user_id"])
+        for role_id in state.role_ids():
+            for user_id in sorted(state.users_of_role(role_id)):
+                writer.writerow([role_id, user_id])
+
+    with open(
+        base / PERMISSION_EDGES_FILE, "w", newline="", encoding="utf-8"
+    ) as f:
+        writer = csv.writer(f)
+        writer.writerow(["role_id", "permission_id"])
+        for role_id in state.role_ids():
+            for permission_id in sorted(state.permissions_of_role(role_id)):
+                writer.writerow([role_id, permission_id])
+
+    with open(base / ENTITIES_FILE, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["kind", "id", "name"])
+        for user_id in state.user_ids():
+            writer.writerow(["user", user_id, state.get_user(user_id).name])
+        for role_id in state.role_ids():
+            writer.writerow(["role", role_id, state.get_role(role_id).name])
+        for permission_id in state.permission_ids():
+            writer.writerow(
+                [
+                    "permission",
+                    permission_id,
+                    state.get_permission(permission_id).name,
+                ]
+            )
+
+
+def load_csv(directory: str | Path) -> RbacState:
+    """Read a state from ``directory`` (see module docstring)."""
+    base = Path(directory)
+    user_edges_path = base / USER_EDGES_FILE
+    permission_edges_path = base / PERMISSION_EDGES_FILE
+    if not user_edges_path.exists() and not permission_edges_path.exists():
+        raise DataFormatError(
+            f"{base} contains neither {USER_EDGES_FILE} nor "
+            f"{PERMISSION_EDGES_FILE}"
+        )
+
+    state = RbacState()
+
+    entities_path = base / ENTITIES_FILE
+    if entities_path.exists():
+        for row_number, row in _read_rows(entities_path, 3):
+            kind, entity_id, name = row
+            try:
+                entity_kind = EntityKind(kind)
+            except ValueError:
+                raise DataFormatError(
+                    f"{entities_path}:{row_number}: unknown kind {kind!r}"
+                ) from None
+            if entity_kind is EntityKind.USER:
+                state.add_user(User(entity_id, name=name))
+            elif entity_kind is EntityKind.ROLE:
+                state.add_role(Role(entity_id, name=name))
+            else:
+                state.add_permission(Permission(entity_id, name=name))
+
+    if user_edges_path.exists():
+        for _row_number, (role_id, user_id) in _read_rows(user_edges_path, 2):
+            if not state.has_role(role_id):
+                state.add_role(Role(role_id))
+            if not state.has_user(user_id):
+                state.add_user(User(user_id))
+            state.assign_user(role_id, user_id)
+
+    if permission_edges_path.exists():
+        for _row_number, (role_id, permission_id) in _read_rows(
+            permission_edges_path, 2
+        ):
+            if not state.has_role(role_id):
+                state.add_role(Role(role_id))
+            if not state.has_permission(permission_id):
+                state.add_permission(Permission(permission_id))
+            state.assign_permission(role_id, permission_id)
+
+    return state
+
+
+def _read_rows(path: Path, n_columns: int):
+    """Yield ``(line_number, row)`` for a header-checked CSV file."""
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataFormatError(f"{path}: empty file") from None
+        if len(header) != n_columns:
+            raise DataFormatError(
+                f"{path}: expected {n_columns} header columns, "
+                f"got {len(header)}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue  # blank line
+            if len(row) != n_columns:
+                raise DataFormatError(
+                    f"{path}:{row_number}: expected {n_columns} columns, "
+                    f"got {len(row)}"
+                )
+            yield row_number, tuple(row)

@@ -1,0 +1,140 @@
+"""Graphviz DOT export of the tripartite RBAC graph.
+
+Regenerates the paper's Figure 1 as an artifact: users, roles, and
+permissions as three node ranks, assignment edges between them, and —
+when a :class:`~repro.core.report.Report` is supplied — the detected
+inefficiencies highlighted the way the figure highlights them (standalone
+nodes, disconnected roles, duplicate/similar groups).
+
+The output is plain DOT text; render it with any Graphviz install
+(``dot -Tsvg graph.dot -o graph.svg``) — no Graphviz dependency is
+needed to produce the file.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import InefficiencyType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.report import Report
+
+#: Fill colours per highlight class (colourblind-safe-ish pastels).
+_COLORS = {
+    "user": "#cfe2f3",
+    "role": "#d9ead3",
+    "permission": "#fff2cc",
+    "standalone": "#f4cccc",
+    "disconnected": "#f9cb9c",
+    "duplicate": "#ead1dc",
+    "similar": "#d9d2e9",
+}
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def state_to_dot(
+    state: RbacState,
+    report: "Report | None" = None,
+    graph_name: str = "rbac",
+) -> str:
+    """Render ``state`` (optionally annotated by ``report``) as DOT.
+
+    Nodes are named ``user:<id>`` / ``role:<id>`` / ``permission:<id>``
+    to keep the three id namespaces disjoint, and are grouped into three
+    same-rank rows like the paper's figure.
+    """
+    highlight: dict[str, str] = {}
+    group_labels: dict[str, list[str]] = {}
+    if report is not None:
+        _collect_highlights(report, highlight, group_labels)
+
+    lines = [
+        f"graph {_quote(graph_name)} {{",
+        "  rankdir=LR;",
+        '  node [style=filled, fontname="Helvetica"];',
+    ]
+
+    for kind, ids, shape in (
+        ("user", state.user_ids(), "ellipse"),
+        ("role", state.role_ids(), "box"),
+        ("permission", state.permission_ids(), "hexagon"),
+    ):
+        lines.append(f"  subgraph cluster_{kind}s {{")
+        lines.append(f'    label="{kind}s"; color=none;')
+        lines.append("    rank=same;")
+        for entity_id in ids:
+            node = f"{kind}:{entity_id}"
+            color = _COLORS[highlight.get(node, kind)]
+            label_suffix = ""
+            if node in group_labels:
+                label_suffix = "\\n" + "; ".join(sorted(group_labels[node]))
+            lines.append(
+                f"    {_quote(node)} [label={_quote(entity_id + label_suffix)}, "
+                f'shape={shape}, fillcolor="{color}"];'
+            )
+        lines.append("  }")
+
+    for role_id in state.role_ids():
+        for user_id in sorted(state.users_of_role(role_id)):
+            lines.append(
+                f"  {_quote(f'user:{user_id}')} -- "
+                f"{_quote(f'role:{role_id}')};"
+            )
+        for permission_id in sorted(state.permissions_of_role(role_id)):
+            lines.append(
+                f"  {_quote(f'role:{role_id}')} -- "
+                f"{_quote(f'permission:{permission_id}')};"
+            )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _collect_highlights(
+    report: "Report",
+    highlight: dict[str, str],
+    group_labels: dict[str, list[str]],
+) -> None:
+    """Map findings onto node highlight classes and group tags.
+
+    Priority (later wins): similar < duplicate < disconnected <
+    standalone — a node keeps the most severe structural annotation.
+    """
+    ordered = (
+        (InefficiencyType.SIMILAR_ROLES, "similar"),
+        (InefficiencyType.DUPLICATE_ROLES, "duplicate"),
+        (InefficiencyType.DISCONNECTED_ROLE, "disconnected"),
+        (InefficiencyType.STANDALONE_NODE, "standalone"),
+    )
+    group_counter = 0
+    for kind, css in ordered:
+        for finding in report.of_type(kind):
+            if kind in (
+                InefficiencyType.DUPLICATE_ROLES,
+                InefficiencyType.SIMILAR_ROLES,
+            ):
+                group_counter += 1
+                tag = (
+                    f"{'dup' if kind is InefficiencyType.DUPLICATE_ROLES else 'sim'}"
+                    f"-{finding.axis.value[0] if finding.axis else '?'}"
+                    f"{group_counter}"
+                )
+            else:
+                tag = None
+            prefix = {
+                EntityKind.USER: "user",
+                EntityKind.ROLE: "role",
+                EntityKind.PERMISSION: "permission",
+            }[finding.entity_kind]
+            for entity_id in finding.entity_ids:
+                node = f"{prefix}:{entity_id}"
+                highlight[node] = css
+                if tag is not None:
+                    group_labels.setdefault(node, []).append(tag)

@@ -1,0 +1,145 @@
+"""JSON serialisation of RBAC states.
+
+Document shape (version 1)::
+
+    {
+      "format": "repro-rbac",
+      "version": 1,
+      "users":       [{"id": "...", "name": "...", "attributes": {...}}, ...],
+      "roles":       [...],
+      "permissions": [...],
+      "user_assignments":       [["role", "user"], ...],
+      "permission_assignments": [["role", "permission"], ...]
+    }
+
+``name`` and ``attributes`` are optional on load and omitted on save when
+empty, keeping large exports compact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.entities import Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import DataFormatError, ReproError
+
+FORMAT_NAME = "repro-rbac"
+FORMAT_VERSION = 1
+
+
+def _entity_payload(entity: User | Role | Permission) -> dict[str, Any]:
+    payload: dict[str, Any] = {"id": entity.id}
+    if entity.name:
+        payload["name"] = entity.name
+    if entity.attributes:
+        payload["attributes"] = dict(entity.attributes)
+    return payload
+
+
+def state_to_dict(state: RbacState) -> dict[str, Any]:
+    """The JSON-ready document for ``state``."""
+    user_edges = []
+    permission_edges = []
+    for role_id in state.role_ids():
+        for user_id in sorted(state.users_of_role(role_id)):
+            user_edges.append([role_id, user_id])
+        for permission_id in sorted(state.permissions_of_role(role_id)):
+            permission_edges.append([role_id, permission_id])
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "users": [
+            _entity_payload(state.get_user(u)) for u in state.user_ids()
+        ],
+        "roles": [
+            _entity_payload(state.get_role(r)) for r in state.role_ids()
+        ],
+        "permissions": [
+            _entity_payload(state.get_permission(p))
+            for p in state.permission_ids()
+        ],
+        "user_assignments": user_edges,
+        "permission_assignments": permission_edges,
+    }
+
+
+def state_from_dict(document: dict[str, Any]) -> RbacState:
+    """Rebuild a state from a document produced by :func:`state_to_dict`."""
+    if not isinstance(document, dict):
+        raise DataFormatError("expected a JSON object at the top level")
+    if document.get("format") != FORMAT_NAME:
+        raise DataFormatError(
+            f"unexpected format marker: {document.get('format')!r}"
+        )
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise DataFormatError(f"unsupported format version: {version!r}")
+
+    state = RbacState()
+    try:
+        for item in document.get("users", []):
+            state.add_user(
+                User(
+                    item["id"],
+                    name=item.get("name", ""),
+                    attributes=item.get("attributes", {}),
+                )
+            )
+        for item in document.get("roles", []):
+            state.add_role(
+                Role(
+                    item["id"],
+                    name=item.get("name", ""),
+                    attributes=item.get("attributes", {}),
+                )
+            )
+        for item in document.get("permissions", []):
+            state.add_permission(
+                Permission(
+                    item["id"],
+                    name=item.get("name", ""),
+                    attributes=item.get("attributes", {}),
+                )
+            )
+        for role_id, user_id in document.get("user_assignments", []):
+            state.assign_user(role_id, user_id)
+        for role_id, permission_id in document.get(
+            "permission_assignments", []
+        ):
+            state.assign_permission(role_id, permission_id)
+    except DataFormatError:
+        raise
+    except ReproError as error:  # UnknownEntityError, DuplicateEntityError
+        raise DataFormatError(f"inconsistent RBAC document: {error}") from error
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataFormatError(f"malformed RBAC document: {error}") from error
+    return state
+
+
+def dumps_json(state: RbacState, indent: int | None = None) -> str:
+    """Serialise ``state`` to a JSON string."""
+    return json.dumps(state_to_dict(state), indent=indent)
+
+
+def loads_json(text: str) -> RbacState:
+    """Parse a state from a JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataFormatError(f"invalid JSON: {error}") from error
+    return state_from_dict(document)
+
+
+def save_json(
+    state: RbacState, path: str | Path, indent: int | None = None
+) -> None:
+    """Write ``state`` to ``path`` as JSON."""
+    Path(path).write_text(dumps_json(state, indent=indent), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> RbacState:
+    """Read a state from a JSON file."""
+    return loads_json(Path(path).read_text(encoding="utf-8"))

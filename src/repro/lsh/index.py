@@ -1,0 +1,96 @@
+"""Banded LSH index over MinHash signatures.
+
+Signatures are split into ``n_bands`` bands of ``rows_per_band`` hash
+values; two rows become a *candidate pair* when any band matches
+exactly.  For Jaccard similarity ``s`` the collision probability is
+``1 - (1 - s^r)^b`` — the classic S-curve whose knee the (b, r) choice
+places; the defaults (16 bands × 4 rows) put it around ``s ≈ 0.5``,
+which comfortably catches the near-duplicate role rows the paper's
+type-4/5 detectors target while keeping candidate noise low.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.exceptions import ConfigurationError
+
+
+class LshIndex:
+    """Buckets signature bands; yields candidate row pairs.
+
+    Parameters
+    ----------
+    signatures:
+        ``(n_rows, n_hashes)`` MinHash signature array.
+    n_bands:
+        Number of bands; must divide the signature length.
+    """
+
+    def __init__(
+        self,
+        signatures: npt.NDArray[np.uint64],
+        n_bands: int = 16,
+    ) -> None:
+        if signatures.ndim != 2:
+            raise ConfigurationError("signatures must be a 2-D array")
+        n_rows, n_hashes = signatures.shape
+        if n_bands < 1 or n_hashes % n_bands != 0:
+            raise ConfigurationError(
+                f"n_bands={n_bands} must divide the signature "
+                f"length {n_hashes}"
+            )
+        self.n_bands = n_bands
+        self.rows_per_band = n_hashes // n_bands
+        self._n_rows = n_rows
+        # band -> {band-content bytes -> [row, ...]}
+        self._buckets: list[dict[bytes, list[int]]] = [
+            {} for _ in range(n_bands)
+        ]
+        self._signatures = np.ascontiguousarray(signatures)
+        for row in range(n_rows):
+            for band in range(n_bands):
+                key = self._band_key(row, band)
+                self._buckets[band].setdefault(key, []).append(row)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def candidate_pairs(self) -> Iterator[tuple[int, int]]:
+        """Distinct row pairs sharing at least one band bucket.
+
+        Pairs are emitted with ``i < j``, each at most once, in
+        deterministic order.
+        """
+        seen: set[tuple[int, int]] = set()
+        for band_buckets in self._buckets:
+            for members in band_buckets.values():
+                if len(members) < 2:
+                    continue
+                for position, i in enumerate(members):
+                    for j in members[position + 1 :]:
+                        pair = (i, j) if i < j else (j, i)
+                        if pair not in seen:
+                            seen.add(pair)
+                            yield pair
+
+    def candidates_of(self, row: int) -> list[int]:
+        """Rows sharing at least one band with ``row`` (itself excluded)."""
+        if not 0 <= row < self._n_rows:
+            raise ConfigurationError(f"row {row} out of range")
+        found: set[int] = set()
+        for band in range(self.n_bands):
+            members = self._buckets[band].get(self._band_key(row, band), ())
+            found.update(members)
+        found.discard(row)
+        return sorted(found)
+
+    def _band_key(self, row: int, band: int) -> bytes:
+        start = band * self.rows_per_band
+        return self._signatures[
+            row, start : start + self.rows_per_band
+        ].tobytes()

@@ -1,0 +1,80 @@
+"""MinHash signatures for sparse boolean rows.
+
+A MinHash signature approximates Jaccard similarity: for a random hash
+function ``h``, ``P[min h(A) = min h(B)] = J(A, B)``.  Stacking ``n``
+independent hashes gives a fixed-size sketch whose agreement rate
+estimates the similarity — and, crucially for grouping, *identical sets
+always produce identical signatures*.
+
+Hashes are the classic universal family ``h(x) = (a·x + b) mod p`` with
+``p = 2^31 - 1`` (Mersenne).  With ``a, b, x < p`` every product fits a
+``uint64``, so the whole computation stays in vectorised numpy.  The
+grouping layer verifies every candidate pair exactly, so hash-collision
+quality only affects speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+import scipy.sparse as sp
+
+from repro.bitmatrix import to_csr
+from repro.exceptions import ConfigurationError
+
+#: Mersenne prime 2^31 - 1: products of two < p values fit in uint64.
+_PRIME = np.uint64((1 << 31) - 1)
+
+#: Sentinel signature value for empty rows (no elements to hash).  All
+#: empty rows share it, matching "identical sets → identical signature".
+EMPTY_ROW_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def minhash_signatures(
+    matrix: npt.ArrayLike | sp.spmatrix,
+    n_hashes: int = 64,
+    seed: int = 0,
+) -> npt.NDArray[np.uint64]:
+    """Per-row MinHash signatures of a boolean matrix.
+
+    Returns an ``(n_rows, n_hashes)`` ``uint64`` array.  Deterministic
+    per (content, n_hashes, seed); row order follows the input.
+    """
+    if n_hashes < 1:
+        raise ConfigurationError(f"n_hashes must be >= 1, got {n_hashes}")
+    csr = to_csr(matrix)
+    rng = np.random.default_rng(seed)
+    # a must be non-zero for universality.
+    a = rng.integers(1, int(_PRIME), size=n_hashes, dtype=np.uint64)
+    b = rng.integers(0, int(_PRIME), size=n_hashes, dtype=np.uint64)
+    a_col = a[:, None]
+    b_col = b[:, None]
+
+    n_rows = csr.shape[0]
+    signatures = np.empty((n_rows, n_hashes), dtype=np.uint64)
+    indptr = csr.indptr
+    indices = (csr.indices.astype(np.uint64)) % _PRIME
+    # Python-level loop over rows; each row is fully vectorised
+    # (n_hashes x row_size hash evaluations in one numpy expression).
+    for row in range(n_rows):
+        elements = indices[indptr[row] : indptr[row + 1]]
+        if len(elements) == 0:
+            signatures[row, :] = EMPTY_ROW_SENTINEL
+            continue
+        hashed = (a_col * elements[None, :] + b_col) % _PRIME
+        signatures[row, :] = hashed.min(axis=1)
+    return signatures
+
+
+def estimate_jaccard(
+    signature_a: npt.NDArray[np.uint64],
+    signature_b: npt.NDArray[np.uint64],
+) -> float:
+    """Estimated Jaccard similarity: the sketch agreement rate."""
+    if signature_a.shape != signature_b.shape:
+        raise ConfigurationError("signatures must have equal length")
+    if len(signature_a) == 0:
+        raise ConfigurationError("signatures must be non-empty")
+    return float(np.count_nonzero(signature_a == signature_b)) / len(
+        signature_a
+    )

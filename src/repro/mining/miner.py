@@ -1,0 +1,180 @@
+"""FastMiner-style candidate generation and greedy role cover.
+
+Follows the structure of Vaidya et al.'s subset-enumeration miners:
+
+1. **Initial candidates** — each user's complete permission profile
+   (``InitialRoles``); identical profiles collapse into one candidate
+   whose support is the number of users sharing it.
+2. **Intersections** — FastMiner adds the pairwise intersections of the
+   initial candidates; an intersection is the access shared by two user
+   populations and is the natural shape of a business role.
+3. **Support** — a candidate's users are everyone whose profile is a
+   superset of the candidate's permission set.
+
+The greedy cover then repeatedly picks the candidate covering the most
+uncovered (user, permission) cells — the standard approximation for the
+Role Minimisation Problem, which is NP-complete in general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+
+
+def upa_from_state(state: RbacState) -> dict[str, frozenset[str]]:
+    """The user-permission assignment: each user's *effective* profile.
+
+    Mining deliberately ignores the existing role structure — that is
+    what makes it "bottom-up" and what the paper's approach avoids.
+    Users with no permissions are excluded (no cells to cover).
+    """
+    return {
+        user_id: profile
+        for user_id, profile in state.effective_permission_map().items()
+        if profile
+    }
+
+
+@dataclass(frozen=True)
+class MinedRole:
+    """A candidate role produced by the miner."""
+
+    permissions: frozenset[str]
+    users: frozenset[str]
+
+    @property
+    def support(self) -> int:
+        """Number of users whose profile covers this candidate."""
+        return len(self.users)
+
+    @property
+    def n_cells(self) -> int:
+        """UPA cells this role could cover (support × permission count)."""
+        return len(self.users) * len(self.permissions)
+
+
+def mine_candidate_roles(
+    state: RbacState, max_candidates: int = 10_000
+) -> list[MinedRole]:
+    """FastMiner candidate generation over ``state``'s UPA.
+
+    Returns candidates sorted by descending support, then descending
+    permission-set size, then lexicographically (fully deterministic).
+    Raises :class:`ConfigurationError` if the candidate set would exceed
+    ``max_candidates`` (quadratic blow-up guard — the scalability issue
+    the paper's related work §II points at).
+    """
+    upa = upa_from_state(state)
+    distinct_profiles = sorted(
+        {profile for profile in upa.values()},
+        key=lambda p: (len(p), sorted(p)),
+    )
+
+    candidates: set[frozenset[str]] = set(distinct_profiles)
+    for i, first in enumerate(distinct_profiles):
+        for second in distinct_profiles[i + 1 :]:
+            shared = first & second
+            if shared:
+                candidates.add(shared)
+            if len(candidates) > max_candidates:
+                raise ConfigurationError(
+                    f"candidate explosion: more than {max_candidates} "
+                    "candidates; raise max_candidates or reduce the input"
+                )
+
+    mined = []
+    for permission_set in candidates:
+        members = frozenset(
+            user_id
+            for user_id, profile in upa.items()
+            if permission_set <= profile
+        )
+        mined.append(MinedRole(permissions=permission_set, users=members))
+    mined.sort(
+        key=lambda role: (
+            -role.support,
+            -len(role.permissions),
+            sorted(role.permissions),
+        )
+    )
+    return mined
+
+
+@dataclass
+class CoverResult:
+    """Outcome of the greedy role cover."""
+
+    selected: list[MinedRole]
+    covered_cells: int
+    total_cells: int
+
+    @property
+    def coverage(self) -> float:
+        if self.total_cells == 0:
+            return 1.0
+        return self.covered_cells / self.total_cells
+
+    @property
+    def n_roles(self) -> int:
+        return len(self.selected)
+
+
+def greedy_role_cover(
+    state: RbacState,
+    max_roles: int | None = None,
+    candidates: list[MinedRole] | None = None,
+) -> CoverResult:
+    """Greedy Role-Minimisation heuristic over mined candidates.
+
+    Repeatedly selects the candidate covering the most currently
+    uncovered UPA cells until everything is covered or ``max_roles``
+    candidates were taken.  The selected candidates' (user, permission)
+    rectangles exactly tile the coverage — no user is ever granted a
+    permission outside their original profile, by construction of the
+    candidates.
+    """
+    if max_roles is not None and max_roles < 0:
+        raise ConfigurationError("max_roles must be >= 0")
+    upa = upa_from_state(state)
+    uncovered: set[tuple[str, str]] = {
+        (user_id, permission_id)
+        for user_id, profile in upa.items()
+        for permission_id in profile
+    }
+    total_cells = len(uncovered)
+    pool = list(
+        candidates if candidates is not None else mine_candidate_roles(state)
+    )
+
+    selected: list[MinedRole] = []
+    while uncovered and pool:
+        if max_roles is not None and len(selected) >= max_roles:
+            break
+        best = None
+        best_gain = 0
+        for candidate in pool:
+            gain = sum(
+                1
+                for user_id in candidate.users
+                for permission_id in candidate.permissions
+                if (user_id, permission_id) in uncovered
+            )
+            if gain > best_gain:
+                best = candidate
+                best_gain = gain
+        if best is None:
+            break
+        selected.append(best)
+        pool.remove(best)
+        for user_id in best.users:
+            for permission_id in best.permissions:
+                uncovered.discard((user_id, permission_id))
+
+    return CoverResult(
+        selected=selected,
+        covered_cells=total_cells - len(uncovered),
+        total_cells=total_cells,
+    )

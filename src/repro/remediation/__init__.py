@@ -1,0 +1,55 @@
+"""Remediation: turn findings into a reviewable consolidation plan.
+
+The paper is explicit that inefficiencies "must not be fixed
+automatically" (§III-A) — an administrator reviews each instance.  This
+package keeps that boundary as an API shape:
+
+1. :func:`~repro.remediation.planner.build_plan` converts a
+   :class:`~repro.core.report.Report` into a
+   :class:`~repro.remediation.actions.RemediationPlan` — a list of
+   concrete, individually-removable actions plus non-actionable review
+   suggestions;
+2. the administrator inspects (and prunes) the plan;
+3. :func:`~repro.remediation.apply.apply_plan` executes it on a *copy*
+   of the state, re-validating every action against the live data and —
+   unless explicitly disabled — proving that no user's effective
+   permission set changed (:class:`repro.exceptions.SafetyViolationError`
+   otherwise).
+
+:mod:`~repro.remediation.metrics` quantifies the reduction, reproducing
+the paper's "~10% of all roles" headline on the planted dataset.
+"""
+
+from repro.remediation.actions import (
+    MergeRoles,
+    RemediationAction,
+    RemediationPlan,
+    RemoveNode,
+    RemoveShadowedRole,
+    ReviewSuggestion,
+)
+from repro.remediation.apply import apply_plan
+from repro.remediation.convergence import (
+    CleanupRound,
+    ConvergenceResult,
+    run_to_fixed_point,
+)
+from repro.remediation.metrics import ReductionMetrics, measure_reduction
+from repro.remediation.planner import PlannerOptions, build_plan
+
+__all__ = [
+    "MergeRoles",
+    "RemediationAction",
+    "RemediationPlan",
+    "RemoveNode",
+    "RemoveShadowedRole",
+    "ReviewSuggestion",
+    "PlannerOptions",
+    "build_plan",
+    "apply_plan",
+    "CleanupRound",
+    "ConvergenceResult",
+    "run_to_fixed_point",
+    "ReductionMetrics",
+    "measure_reduction",
+]

@@ -1,0 +1,204 @@
+"""Remediation action types and the plan container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.entities import EntityKind
+from repro.core.taxonomy import Axis
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveNode:
+    """Remove a standalone or one-sided entity.
+
+    ``kind`` says what is removed; ``reason`` records which finding
+    justified it (shown to the reviewing administrator).
+    """
+
+    kind: EntityKind
+    entity_id: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"remove {self.kind.value} {self.entity_id!r} ({self.reason})"
+
+
+@dataclass(frozen=True, slots=True)
+class MergeRoles:
+    """Merge a duplicate-role group into one keeper role.
+
+    ``axis`` is the side on which the group's sets are identical:
+
+    * ``Axis.USERS`` — all members have the same user set; merging moves
+      each removed role's *permissions* onto the keeper.  Every shared
+      user already received the union of the group's permissions through
+      their multiple memberships, so effective access is unchanged.
+    * ``Axis.PERMISSIONS`` — symmetric: members share a permission set;
+      merging moves each removed role's *users* onto the keeper.
+    """
+
+    keep_role_id: str
+    remove_role_ids: tuple[str, ...]
+    axis: Axis
+
+    def __post_init__(self) -> None:
+        if not self.remove_role_ids:
+            raise ValueError("MergeRoles needs at least one role to remove")
+        if self.keep_role_id in self.remove_role_ids:
+            raise ValueError("keeper role cannot also be removed")
+        object.__setattr__(
+            self, "remove_role_ids", tuple(self.remove_role_ids)
+        )
+
+    def describe(self) -> str:
+        removed = ", ".join(self.remove_role_ids)
+        return (
+            f"merge roles [{removed}] into {self.keep_role_id!r} "
+            f"(identical {self.axis.value})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveShadowedRole:
+    """Remove a role fully dominated by another role.
+
+    Valid only while ``users(role) ⊆ users(shadowed_by)`` and
+    ``permissions(role) ⊆ permissions(shadowed_by)`` — re-verified at
+    apply time.  Under that invariant every user of the removed role
+    keeps every permission through the shadowing role.
+    """
+
+    role_id: str
+    shadowed_by: str
+
+    def __post_init__(self) -> None:
+        if self.role_id == self.shadowed_by:
+            raise ValueError("a role cannot be shadowed by itself")
+
+    def describe(self) -> str:
+        return (
+            f"remove role {self.role_id!r} "
+            f"(shadowed by {self.shadowed_by!r})"
+        )
+
+
+RemediationAction = RemoveNode | MergeRoles | RemoveShadowedRole
+
+
+@dataclass(frozen=True, slots=True)
+class ReviewSuggestion:
+    """A non-actionable pointer the administrator should look at.
+
+    Similar-role groups and single-assignment roles land here: the paper
+    presents them as consolidation *candidates* whose resolution needs a
+    human decision (which users/permissions the merged role should carry).
+    """
+
+    message: str
+    role_ids: tuple[str, ...]
+    axis: Axis | None = None
+
+    def describe(self) -> str:
+        return self.message
+
+
+@dataclass
+class RemediationPlan:
+    """An ordered list of actions plus review suggestions.
+
+    Plans are value objects: build one from a report, drop the actions
+    the administrator rejects (:meth:`without`), then hand it to
+    :func:`repro.remediation.apply.apply_plan`.
+    """
+
+    actions: list[RemediationAction] = field(default_factory=list)
+    suggestions: list[ReviewSuggestion] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[RemediationAction]:
+        return iter(self.actions)
+
+    @property
+    def n_role_removals(self) -> int:
+        """Roles that would disappear if the plan were applied."""
+        total = 0
+        for action in self.actions:
+            if isinstance(action, MergeRoles):
+                total += len(action.remove_role_ids)
+            elif (
+                isinstance(action, RemoveNode)
+                and action.kind is EntityKind.ROLE
+            ):
+                total += 1
+            elif isinstance(action, RemoveShadowedRole):
+                total += 1
+        return total
+
+    def without(self, *indices: int) -> "RemediationPlan":
+        """A copy of the plan minus the actions at ``indices``."""
+        dropped = set(indices)
+        return RemediationPlan(
+            actions=[
+                action
+                for position, action in enumerate(self.actions)
+                if position not in dropped
+            ],
+            suggestions=list(self.suggestions),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable plan (for review UIs / audit logs)."""
+        serialised: list[dict[str, Any]] = []
+        for action in self.actions:
+            if isinstance(action, RemoveNode):
+                serialised.append(
+                    {
+                        "action": "remove_node",
+                        "kind": action.kind.value,
+                        "entity_id": action.entity_id,
+                        "reason": action.reason,
+                    }
+                )
+            elif isinstance(action, MergeRoles):
+                serialised.append(
+                    {
+                        "action": "merge_roles",
+                        "keep": action.keep_role_id,
+                        "remove": list(action.remove_role_ids),
+                        "axis": action.axis.value,
+                    }
+                )
+            else:
+                serialised.append(
+                    {
+                        "action": "remove_shadowed_role",
+                        "role": action.role_id,
+                        "shadowed_by": action.shadowed_by,
+                    }
+                )
+        return {
+            "actions": serialised,
+            "suggestions": [
+                {
+                    "message": suggestion.message,
+                    "role_ids": list(suggestion.role_ids),
+                    "axis": suggestion.axis.value if suggestion.axis else None,
+                }
+                for suggestion in self.suggestions
+            ],
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan."""
+        lines = [f"remediation plan: {len(self.actions)} actions"]
+        for position, action in enumerate(self.actions):
+            lines.append(f"  [{position:>4}] {action.describe()}")
+        if self.suggestions:
+            lines.append(f"suggestions for review: {len(self.suggestions)}")
+            for suggestion in self.suggestions:
+                lines.append(f"  - {suggestion.describe()}")
+        return "\n".join(lines)

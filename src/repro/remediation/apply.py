@@ -1,0 +1,176 @@
+"""Apply a remediation plan to a copy of an RBAC state.
+
+Every action is re-validated against the live state at apply time — a
+plan built from a stale report fails with :class:`RemediationError`
+rather than silently corrupting data.  Unless disabled, the whole
+application is additionally wrapped in the safety proof: the effective
+permission set of every surviving user must be byte-for-byte identical
+before and after (:class:`SafetyViolationError` otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis
+from repro.exceptions import RemediationError, SafetyViolationError
+from repro.remediation.actions import (
+    MergeRoles,
+    RemediationPlan,
+    RemoveNode,
+    RemoveShadowedRole,
+)
+
+
+def apply_plan(
+    state: RbacState,
+    plan: RemediationPlan,
+    validate_safety: bool = True,
+) -> RbacState:
+    """Execute ``plan`` on a copy of ``state`` and return the copy.
+
+    Parameters
+    ----------
+    state:
+        The state the plan was built for; never modified.
+    plan:
+        The (possibly administrator-pruned) plan.
+    validate_safety:
+        Prove that no surviving user's effective permissions changed.
+        Costs one extra pass over the dataset; disable only for bulk
+        experiments on synthetic data.
+    """
+    before = state.effective_permission_map() if validate_safety else None
+    result = state.copy()
+    removed_users: set[str] = set()
+    removed_permissions: set[str] = set()
+
+    for position, action in enumerate(plan.actions):
+        try:
+            if isinstance(action, RemoveNode):
+                _apply_remove(result, action, removed_users, removed_permissions)
+            elif isinstance(action, MergeRoles):
+                _apply_merge(result, action)
+            elif isinstance(action, RemoveShadowedRole):
+                _apply_remove_shadowed(result, action)
+            else:  # pragma: no cover - plans only contain the two types
+                raise RemediationError(
+                    f"unknown action type: {type(action).__name__}"
+                )
+        except RemediationError as error:
+            raise RemediationError(
+                f"action #{position} ({action.describe()}): {error}"
+            ) from error
+
+    if validate_safety:
+        assert before is not None
+        after = result.effective_permission_map()
+        for user_id, had in before.items():
+            if user_id in removed_users:
+                continue
+            expected = had - removed_permissions
+            got = after.get(user_id, frozenset())
+            if got != expected:
+                gained = sorted(got - expected)[:5]
+                lost = sorted(expected - got)[:5]
+                raise SafetyViolationError(
+                    f"user {user_id!r} effective permissions changed: "
+                    f"gained={gained} lost={lost}"
+                )
+    return result
+
+
+def _apply_remove(
+    state: RbacState,
+    action: RemoveNode,
+    removed_users: set[str],
+    removed_permissions: set[str],
+) -> None:
+    if action.kind is EntityKind.USER:
+        if not state.has_user(action.entity_id):
+            raise RemediationError("user no longer exists")
+        if state.roles_of_user(action.entity_id):
+            raise RemediationError(
+                "user has role assignments; the plan is stale"
+            )
+        state.remove_user(action.entity_id)
+        removed_users.add(action.entity_id)
+    elif action.kind is EntityKind.PERMISSION:
+        if not state.has_permission(action.entity_id):
+            raise RemediationError("permission no longer exists")
+        if state.roles_of_permission(action.entity_id):
+            raise RemediationError(
+                "permission is linked to roles; the plan is stale"
+            )
+        state.remove_permission(action.entity_id)
+        removed_permissions.add(action.entity_id)
+    else:
+        if not state.has_role(action.entity_id):
+            raise RemediationError("role no longer exists")
+        users = state.users_of_role(action.entity_id)
+        permissions = state.permissions_of_role(action.entity_id)
+        if users and permissions:
+            raise RemediationError(
+                "role has both users and permissions; removing it would "
+                "change effective access (the plan is stale)"
+            )
+        state.remove_role(action.entity_id)
+
+
+def _apply_remove_shadowed(
+    state: RbacState, action: RemoveShadowedRole
+) -> None:
+    """Remove a shadowed role after re-proving the domination invariant."""
+    if not state.has_role(action.role_id):
+        raise RemediationError(f"role {action.role_id!r} no longer exists")
+    if not state.has_role(action.shadowed_by):
+        raise RemediationError(
+            f"shadowing role {action.shadowed_by!r} no longer exists"
+        )
+    users = state.users_of_role(action.role_id)
+    permissions = state.permissions_of_role(action.role_id)
+    if not users <= state.users_of_role(action.shadowed_by):
+        raise RemediationError(
+            f"role {action.role_id!r} is no longer user-dominated by "
+            f"{action.shadowed_by!r}; the plan is stale"
+        )
+    if not permissions <= state.permissions_of_role(action.shadowed_by):
+        raise RemediationError(
+            f"role {action.role_id!r} is no longer permission-dominated by "
+            f"{action.shadowed_by!r}; the plan is stale"
+        )
+    state.remove_role(action.role_id)
+
+
+def _apply_merge(state: RbacState, action: MergeRoles) -> None:
+    keeper = action.keep_role_id
+    if not state.has_role(keeper):
+        raise RemediationError(f"keeper role {keeper!r} no longer exists")
+
+    if action.axis is Axis.USERS:
+        shared = state.users_of_role(keeper)
+        side = state.users_of_role
+    else:
+        shared = state.permissions_of_role(keeper)
+        side = state.permissions_of_role
+
+    # Re-validate the group invariant against the live state.
+    for role_id in action.remove_role_ids:
+        if not state.has_role(role_id):
+            raise RemediationError(f"role {role_id!r} no longer exists")
+        if side(role_id) != shared:
+            raise RemediationError(
+                f"role {role_id!r} no longer shares the same "
+                f"{action.axis.value} as {keeper!r}; the plan is stale"
+            )
+
+    for role_id in action.remove_role_ids:
+        if action.axis is Axis.USERS:
+            # Same users: fold the removed role's permissions into keeper.
+            for permission_id in state.permissions_of_role(role_id):
+                state.assign_permission(keeper, permission_id)
+        else:
+            # Same permissions: fold the removed role's users into keeper.
+            for user_id in state.users_of_role(role_id):
+                state.assign_user(keeper, user_id)
+        state.remove_role(role_id)

@@ -1,0 +1,108 @@
+"""Fixed-point cleanup: the paper's "run periodically" loop as an API.
+
+The paper argues the detection framework should run on a schedule; the
+approximate baseline even relies on it ("results converge gradually to
+the optimal solution over time").  :func:`run_to_fixed_point` packages
+that loop: analyse → plan → apply, repeated until a round produces no
+actionable findings, with full per-round history for audit trails.
+
+Convergence is guaranteed for the exact finders because every applied
+action strictly removes at least one entity, and detection is
+deterministic; ``max_rounds`` is a backstop for approximate finders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import AnalysisConfig, analyze
+from repro.core.report import Report
+from repro.core.state import RbacState
+from repro.exceptions import RemediationError
+from repro.remediation.actions import RemediationPlan
+from repro.remediation.apply import apply_plan
+from repro.remediation.metrics import ReductionMetrics, measure_reduction
+from repro.remediation.planner import PlannerOptions, build_plan
+
+
+@dataclass
+class CleanupRound:
+    """One analyse-plan-apply iteration."""
+
+    index: int
+    report: Report
+    plan: RemediationPlan
+    roles_after: int
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of :func:`run_to_fixed_point`."""
+
+    initial_state: RbacState
+    final_state: RbacState
+    rounds: list[CleanupRound] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def reduction(self) -> ReductionMetrics:
+        """Total reduction across all rounds."""
+        return measure_reduction(self.initial_state, self.final_state)
+
+    def describe(self) -> str:
+        lines = [
+            f"cleanup {'converged' if self.converged else 'stopped'} after "
+            f"{self.n_rounds} round(s)"
+        ]
+        for round_info in self.rounds:
+            lines.append(
+                f"  round {round_info.index}: "
+                f"{len(round_info.plan.actions)} actions -> "
+                f"{round_info.roles_after} roles remaining"
+            )
+        lines.append(f"total: {self.reduction.describe()}")
+        return "\n".join(lines)
+
+
+def run_to_fixed_point(
+    state: RbacState,
+    config: AnalysisConfig | None = None,
+    planner_options: PlannerOptions | None = None,
+    max_rounds: int = 10,
+    validate_safety: bool = True,
+) -> ConvergenceResult:
+    """Iterate analyse → plan → apply until nothing actionable remains.
+
+    The input state is never modified; each round works on the previous
+    round's output.  Raises :class:`RemediationError` if ``max_rounds``
+    passes without reaching a fixed point (which indicates either a
+    pathological dataset or a non-deterministic finder configuration).
+    """
+    result = ConvergenceResult(initial_state=state, final_state=state)
+    current = state
+    for index in range(1, max_rounds + 1):
+        report = analyze(current, config)
+        plan = build_plan(report, planner_options)
+        if not plan.actions:
+            result.converged = True
+            break
+        current = apply_plan(current, plan, validate_safety=validate_safety)
+        result.rounds.append(
+            CleanupRound(
+                index=index,
+                report=report,
+                plan=plan,
+                roles_after=current.n_roles,
+            )
+        )
+    else:
+        result.final_state = current
+        raise RemediationError(
+            f"cleanup did not reach a fixed point in {max_rounds} rounds"
+        )
+    result.final_state = current
+    return result

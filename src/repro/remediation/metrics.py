@@ -1,0 +1,73 @@
+"""Reduction metrics: quantify what a remediation pass achieved.
+
+Reproduces the arithmetic behind the paper's headline that consolidating
+duplicate-role groups alone removes ~10% of all roles in the real
+dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.state import RbacState
+
+
+@dataclass(frozen=True)
+class ReductionMetrics:
+    """Before/after dataset sizes and the derived reductions."""
+
+    roles_before: int
+    roles_after: int
+    users_before: int
+    users_after: int
+    permissions_before: int
+    permissions_after: int
+    user_edges_before: int
+    user_edges_after: int
+    permission_edges_before: int
+    permission_edges_after: int
+
+    @property
+    def roles_removed(self) -> int:
+        return self.roles_before - self.roles_after
+
+    @property
+    def role_reduction_fraction(self) -> float:
+        """Fraction of roles removed (the paper's ~10% headline)."""
+        if self.roles_before == 0:
+            return 0.0
+        return self.roles_removed / self.roles_before
+
+    @property
+    def edges_removed(self) -> int:
+        before = self.user_edges_before + self.permission_edges_before
+        after = self.user_edges_after + self.permission_edges_after
+        return before - after
+
+    def describe(self) -> str:
+        return (
+            f"roles: {self.roles_before} -> {self.roles_after} "
+            f"(-{self.roles_removed}, {self.role_reduction_fraction:.1%}); "
+            f"users: {self.users_before} -> {self.users_after}; "
+            f"permissions: {self.permissions_before} -> "
+            f"{self.permissions_after}; "
+            f"assignment edges removed: {self.edges_removed}"
+        )
+
+
+def measure_reduction(
+    before: RbacState, after: RbacState
+) -> ReductionMetrics:
+    """Compare two states (typically pre/post :func:`apply_plan`)."""
+    return ReductionMetrics(
+        roles_before=before.n_roles,
+        roles_after=after.n_roles,
+        users_before=before.n_users,
+        users_after=after.n_users,
+        permissions_before=before.n_permissions,
+        permissions_after=after.n_permissions,
+        user_edges_before=before.n_user_assignments,
+        user_edges_after=after.n_user_assignments,
+        permission_edges_before=before.n_permission_assignments,
+        permission_edges_after=after.n_permission_assignments,
+    )

@@ -1,0 +1,156 @@
+"""Build a remediation plan from an analysis report.
+
+Planning policy (conservative by design — see package docstring):
+
+* **standalone nodes** → ``RemoveNode`` actions (opt-out per kind);
+* **disconnected roles** → ``RemoveNode`` actions when enabled: a role
+  with no users grants nothing, a role with no permissions grants
+  nothing, so removal cannot change any user's effective access;
+* **duplicate roles** → one ``MergeRoles`` per group (the keeper is the
+  lexicographically smallest member, making plans deterministic);
+* **similar roles** and **single-assignment roles** → never actions,
+  only ``ReviewSuggestion`` entries: resolving them requires a human
+  decision about which assignments the survivor should carry.
+
+A role can appear in several findings (e.g. in a same-users group *and*
+a same-permissions group).  The planner keeps the first action that
+touches a role and skips later conflicting ones, so a plan never merges
+or removes the same role twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import EntityKind
+from repro.core.report import Report
+from repro.core.taxonomy import Axis, InefficiencyType
+from repro.remediation.actions import (
+    MergeRoles,
+    RemediationPlan,
+    RemoveNode,
+    RemoveShadowedRole,
+    ReviewSuggestion,
+)
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """What the planner is allowed to put in the actions list."""
+
+    remove_standalone_users: bool = True
+    remove_standalone_permissions: bool = True
+    remove_standalone_roles: bool = True
+    remove_disconnected_roles: bool = True
+    merge_duplicate_roles: bool = True
+    #: Which duplicate axes to merge on; by default both, users first
+    #: (the paper's role-count reduction counts both axes).
+    merge_axes: tuple[Axis, ...] = (Axis.USERS, Axis.PERMISSIONS)
+    suggest_similar_roles: bool = True
+    suggest_single_assignment_roles: bool = False
+    #: Shadowed-role findings only exist when the extension detector ran
+    #: (``AnalysisConfig.with_extensions()``).
+    remove_shadowed_roles: bool = True
+
+
+def build_plan(
+    report: Report, options: PlannerOptions | None = None
+) -> RemediationPlan:
+    """Derive a :class:`RemediationPlan` from ``report`` (see module doc)."""
+    options = options or PlannerOptions()
+    plan = RemediationPlan()
+    touched_roles: set[str] = set()
+
+    for finding in report.of_type(InefficiencyType.STANDALONE_NODE):
+        entity_id = finding.entity_ids[0]
+        if finding.entity_kind is EntityKind.USER:
+            if options.remove_standalone_users:
+                plan.actions.append(
+                    RemoveNode(EntityKind.USER, entity_id, "standalone user")
+                )
+        elif finding.entity_kind is EntityKind.PERMISSION:
+            if options.remove_standalone_permissions:
+                plan.actions.append(
+                    RemoveNode(
+                        EntityKind.PERMISSION, entity_id,
+                        "standalone permission",
+                    )
+                )
+        elif options.remove_standalone_roles:
+            plan.actions.append(
+                RemoveNode(EntityKind.ROLE, entity_id, "standalone role")
+            )
+            touched_roles.add(entity_id)
+
+    if options.remove_disconnected_roles:
+        for finding in report.of_type(InefficiencyType.DISCONNECTED_ROLE):
+            role_id = finding.entity_ids[0]
+            if role_id in touched_roles:
+                continue
+            touched_roles.add(role_id)
+            side = (
+                "no users" if finding.axis is Axis.USERS else "no permissions"
+            )
+            plan.actions.append(
+                RemoveNode(EntityKind.ROLE, role_id, f"role with {side}")
+            )
+
+    if options.merge_duplicate_roles:
+        for axis in options.merge_axes:
+            for finding in report.on_axis(
+                InefficiencyType.DUPLICATE_ROLES, axis
+            ):
+                members = [
+                    role_id
+                    for role_id in finding.entity_ids
+                    if role_id not in touched_roles
+                ]
+                if len(members) < 2:
+                    continue
+                keeper = min(members)
+                removed = tuple(m for m in sorted(members) if m != keeper)
+                touched_roles.update(members)
+                plan.actions.append(
+                    MergeRoles(
+                        keep_role_id=keeper,
+                        remove_role_ids=removed,
+                        axis=axis,
+                    )
+                )
+
+    if options.remove_shadowed_roles:
+        for finding in report.of_type(InefficiencyType.SHADOWED_ROLE):
+            role_id = finding.entity_ids[0]
+            shadowed_by = finding.details.get("shadowed_by", "")
+            # Skip when either side was already merged/removed above, or
+            # when the dominator is itself scheduled for removal (a
+            # chain a ⊆ b ⊆ c resolves over successive runs).
+            if role_id in touched_roles or shadowed_by in touched_roles:
+                continue
+            touched_roles.add(role_id)
+            plan.actions.append(
+                RemoveShadowedRole(role_id=role_id, shadowed_by=shadowed_by)
+            )
+
+    if options.suggest_similar_roles:
+        for finding in report.of_type(InefficiencyType.SIMILAR_ROLES):
+            plan.suggestions.append(
+                ReviewSuggestion(
+                    message=finding.message,
+                    role_ids=finding.entity_ids,
+                    axis=finding.axis,
+                )
+            )
+    if options.suggest_single_assignment_roles:
+        for finding in report.of_type(
+            InefficiencyType.SINGLE_ASSIGNMENT_ROLE
+        ):
+            plan.suggestions.append(
+                ReviewSuggestion(
+                    message=finding.message,
+                    role_ids=finding.entity_ids,
+                    axis=finding.axis,
+                )
+            )
+
+    return plan

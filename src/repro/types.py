@@ -1,0 +1,33 @@
+"""Shared type aliases and small value types used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+#: Identifier of a user, role, or permission.  Identifiers are opaque
+#: strings; the library never parses them.
+EntityId = str
+
+#: A boolean assignment matrix (roles on rows) in dense ``numpy`` form.
+BoolMatrix = npt.NDArray[np.bool_]
+
+#: A vector of integer row indices.
+IndexArray = npt.NDArray[np.intp]
+
+#: A group of role indices (all sharing the same / similar vectors).
+IndexGroup = Sequence[int]
+
+
+def as_bool_matrix(data: npt.ArrayLike) -> BoolMatrix:
+    """Coerce ``data`` into a 2-D boolean ``numpy`` array.
+
+    Accepts lists of lists, integer arrays of 0/1, and boolean arrays.
+    Raises :class:`ValueError` if the input is not two-dimensional.
+    """
+    matrix = np.asarray(data)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+    return matrix.astype(bool, copy=False)

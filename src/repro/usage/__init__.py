@@ -1,0 +1,41 @@
+"""Usage-log analysis — least-privilege signals from access logs.
+
+The paper's related work (D'Antoni et al., OOPSLA 2024) argues that
+refining existing policies from *access logs* beats regenerating them:
+an assignment nobody exercises is a candidate for removal.  This package
+brings that signal into the Role Diet toolbox:
+
+* :class:`~repro.usage.log.AccessLog` — a multiset of
+  ``(user, permission, timestamp)`` access events, with windowing;
+* :func:`~repro.usage.log.generate_access_log` — synthetic log
+  generator driven by an :class:`~repro.core.state.RbacState` (real
+  traces are proprietary, like the paper's dataset — same substitution
+  rationale as ``repro.datagen``);
+* :class:`~repro.usage.analysis.UsageAnalysis` — dormant memberships,
+  dormant roles, and never-exercised grants, each with the
+  benefit-of-the-doubt attribution documented on the class.
+
+Like every detector in this library, the output is advisory: revoking
+access on log evidence alone can break rare-but-legitimate workflows
+(break-glass accounts, yearly jobs), so the findings feed the same
+review-then-apply pipeline.
+"""
+
+from repro.usage.log import (
+    AccessEvent,
+    AccessLog,
+    generate_access_log,
+    load_access_log_csv,
+    save_access_log_csv,
+)
+from repro.usage.analysis import UsageAnalysis, UsageSummary
+
+__all__ = [
+    "AccessEvent",
+    "AccessLog",
+    "generate_access_log",
+    "load_access_log_csv",
+    "save_access_log_csv",
+    "UsageAnalysis",
+    "UsageSummary",
+]

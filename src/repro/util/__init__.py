@@ -1,0 +1,5 @@
+"""Small shared utilities (disjoint sets, deterministic RNG helpers)."""
+
+from repro.util.disjoint_set import DisjointSet
+
+__all__ = ["DisjointSet"]

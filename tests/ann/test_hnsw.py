@@ -1,0 +1,166 @@
+"""Unit tests for the from-scratch HNSW index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import HNSWIndex
+from repro.exceptions import ConfigurationError
+
+
+class TestParameters:
+    def test_dim_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HNSWIndex(dim=0)
+
+    def test_m_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            HNSWIndex(dim=4, m=1)
+
+    def test_ef_construction_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HNSWIndex(dim=4, ef_construction=0)
+
+    def test_wrong_vector_dim_rejected(self):
+        index = HNSWIndex(dim=3)
+        with pytest.raises(ConfigurationError):
+            index.add([1.0, 2.0])
+
+    def test_search_wrong_dim_rejected(self):
+        index = HNSWIndex(dim=3)
+        index.add([0.0, 0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            index.search([1.0], k=1)
+
+    def test_k_must_be_positive(self):
+        index = HNSWIndex(dim=2)
+        index.add([0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            index.search([0.0, 0.0], k=0)
+
+
+class TestBasicBehaviour:
+    def test_empty_index_returns_nothing(self):
+        index = HNSWIndex(dim=2)
+        assert index.search([0.0, 0.0], k=3) == []
+        assert len(index) == 0
+
+    def test_single_point(self):
+        index = HNSWIndex(dim=2)
+        node = index.add([1.0, 1.0])
+        hits = index.search([1.0, 1.0], k=1)
+        assert hits == [(node, 0.0)]
+
+    def test_ids_are_sequential(self):
+        index = HNSWIndex(dim=1)
+        ids = [index.add([float(i)]) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert len(index) == 5
+
+    def test_add_items_bulk(self):
+        index = HNSWIndex(dim=3)
+        data = np.eye(3)
+        assert index.add_items(data) == [0, 1, 2]
+
+    def test_add_items_rejects_1d(self):
+        index = HNSWIndex(dim=3)
+        with pytest.raises(ConfigurationError):
+            index.add_items(np.zeros(3))
+
+    def test_exact_duplicate_found_at_distance_zero(self):
+        index = HNSWIndex(dim=4, seed=1)
+        index.add([1.0, 0.0, 1.0, 0.0])
+        index.add([1.0, 0.0, 1.0, 0.0])
+        hits = index.search([1.0, 0.0, 1.0, 0.0], k=2)
+        assert {node for node, _ in hits} == {0, 1}
+        assert all(distance == 0.0 for _, distance in hits)
+
+
+class TestSearchQuality:
+    def test_nearest_neighbor_exact_on_small_set(self):
+        rng = np.random.default_rng(10)
+        data = rng.random((50, 8))
+        index = HNSWIndex(dim=8, metric="euclidean", seed=0)
+        index.add_items(data)
+        for qi in range(0, 50, 7):
+            hits = index.search(data[qi], k=1)
+            assert hits[0][0] == qi  # the point itself
+
+    def test_results_sorted_by_distance(self):
+        rng = np.random.default_rng(11)
+        data = rng.random((80, 6))
+        index = HNSWIndex(dim=6, metric="manhattan", seed=0)
+        index.add_items(data)
+        hits = index.search(rng.random(6), k=10)
+        distances = [distance for _, distance in hits]
+        assert distances == sorted(distances)
+
+    def test_k_caps_result_count(self):
+        index = HNSWIndex(dim=2, seed=0)
+        index.add_items(np.random.default_rng(12).random((30, 2)))
+        assert len(index.search([0.5, 0.5], k=7)) == 7
+
+    def test_determinism_with_fixed_seed(self):
+        rng = np.random.default_rng(13)
+        data = rng.random((60, 5))
+        hits = []
+        for _ in range(2):
+            index = HNSWIndex(dim=5, seed=42)
+            index.add_items(data)
+            hits.append(index.search(data[0], k=5))
+        assert hits[0] == hits[1]
+
+
+class TestRadiusSearch:
+    def test_radius_filters_by_distance(self):
+        data = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]], dtype=float
+        )
+        index = HNSWIndex(dim=2, metric="manhattan", seed=0)
+        index.add_items(data)
+        hits = index.radius_search([0.0, 0.0], radius=1.5)
+        assert {node for node, _ in hits} == {0, 1}
+
+    def test_radius_zero_finds_duplicates_only(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 1.0]])
+        index = HNSWIndex(dim=2, metric="manhattan", seed=0)
+        index.add_items(data)
+        hits = index.radius_search([1.0, 1.0], radius=1e-6)
+        assert {node for node, _ in hits} == {0, 1}
+
+
+class TestStructure:
+    def test_max_level_grows_with_size(self):
+        index = HNSWIndex(dim=1, m=2, seed=0)
+        for i in range(200):
+            index.add([float(i)])
+        # With m=2 level multiplier is 1/ln2; 200 points essentially
+        # always produce at least one upper layer.
+        assert index.max_level >= 1
+
+    def test_degree_bounded_after_many_inserts(self):
+        rng = np.random.default_rng(14)
+        index = HNSWIndex(dim=4, m=4, ef_construction=16, seed=0)
+        index.add_items(rng.random((150, 4)))
+        for layer, links in enumerate(index._links):
+            cap = index.m_max0 if layer == 0 else index.m
+            for node, neighbors in links.items():
+                assert len(neighbors) <= cap, (layer, node)
+
+    def test_links_are_bidirectional_enough_for_search(self):
+        # Weak structural check: every node on layer 0 is reachable from
+        # the entry point (otherwise search could never find it).
+        rng = np.random.default_rng(15)
+        index = HNSWIndex(dim=3, m=4, ef_construction=32, seed=0)
+        index.add_items(rng.random((100, 3)))
+        adjacency = index._links[0]
+        seen = {index._entry_point}
+        frontier = [index._entry_point]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency.get(node, []):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == len(index)

@@ -1,0 +1,84 @@
+"""Recall tests: HNSW must be a *good* approximation on RBAC-like data.
+
+The paper's argument for the approximate baseline is that periodic runs
+converge: recall need not be 1.0, but must be high.  These tests pin a
+lower bound on recall against the exact brute-force answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann import HNSWIndex
+from repro.cluster import BruteForceSearch
+
+
+def _recall_at_k(data: np.ndarray, k: int, ef: int, seed: int) -> float:
+    index = HNSWIndex(
+        dim=data.shape[1],
+        metric="manhattan",
+        m=16,
+        ef_construction=100,
+        seed=seed,
+    )
+    index.add_items(data)
+    brute = BruteForceSearch(data, metric="manhattan")
+    hits_total = 0
+    expected_total = 0
+    for qi in range(0, len(data), 5):
+        approx = {node for node, _ in index.search(data[qi], k=k, ef=ef)}
+        distances = np.abs(data - data[qi]).sum(axis=1)
+        exact = set(np.argsort(distances, kind="stable")[:k].tolist())
+        # Compare by distance values to tolerate ties.
+        exact_distances = sorted(distances[sorted(exact)])
+        approx_distances = sorted(distances[sorted(approx)])
+        hits_total += sum(
+            1 for a, e in zip(approx_distances, exact_distances) if a <= e
+        )
+        expected_total += k
+    assert brute.n_points == len(data)
+    return hits_total / expected_total
+
+
+class TestRecall:
+    def test_high_recall_on_random_binary_data(self):
+        rng = np.random.default_rng(16)
+        data = (rng.random((300, 64)) < 0.15).astype(float)
+        recall = _recall_at_k(data, k=5, ef=64, seed=0)
+        assert recall >= 0.9
+
+    def test_duplicate_groups_recovered(self):
+        """On the paper's workload shape (planted duplicate clusters),
+        radius-0 queries must recover almost all group members."""
+        from repro.datagen import MatrixSpec, generate_matrix
+
+        generated = generate_matrix(
+            MatrixSpec(n_roles=200, n_cols=120, row_density=0.06, seed=17)
+        )
+        dense = generated.dense.astype(float)
+        index = HNSWIndex(
+            dim=dense.shape[1], metric="manhattan", ef_construction=64, seed=0
+        )
+        index.add_items(dense)
+        found_pairs = 0
+        expected_pairs = 0
+        for group in generated.groups:
+            members = set(group)
+            for member in group:
+                hits = {
+                    node
+                    for node, _ in index.radius_search(
+                        dense[member], radius=1e-6, ef=64
+                    )
+                }
+                expected_pairs += len(members) - 1
+                found_pairs += len((hits & members) - {member})
+        assert expected_pairs > 0
+        assert found_pairs / expected_pairs >= 0.95
+
+    def test_bigger_ef_does_not_reduce_recall(self):
+        rng = np.random.default_rng(18)
+        data = (rng.random((200, 32)) < 0.2).astype(float)
+        low = _recall_at_k(data, k=5, ef=8, seed=3)
+        high = _recall_at_k(data, k=5, ef=128, seed=3)
+        assert high >= low - 0.05  # allow small noise, expect improvement

@@ -1,0 +1,131 @@
+"""Unit tests for the experiment runners (tiny sizes — correctness only).
+
+The actual figure-scale runs live in ``benchmarks/``; here we verify the
+runners' plumbing: right workload parameters, right series structure,
+ground truth recovered, counts table shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness import (
+    METHOD_LABELS,
+    run_real_dataset,
+    run_roles_sweep,
+    run_users_sweep,
+)
+from repro.datagen import OrgProfile
+from repro.exceptions import ConfigurationError
+
+
+class TestSweeps:
+    def test_users_sweep_structure(self):
+        result = run_users_sweep(
+            [50, 100],
+            n_roles=60,
+            methods=("cooccurrence", "hash"),
+            repeats=2,
+        )
+        assert result.name == "fig2_users_sweep"
+        assert result.x_label == "users"
+        assert "roles=60" in result.fixed_label
+        assert len(result.points) == 4  # 2 sizes x 2 methods
+        assert {p.x for p in result.points} == {50, 100}
+        assert result.methods() == ["cooccurrence", "hash"]
+
+    def test_series_ordered_by_x(self):
+        result = run_users_sweep(
+            [100, 50], n_roles=40, methods=("cooccurrence",), repeats=1
+        )
+        series = result.series("cooccurrence")
+        assert [p.x for p in series] == [50, 100]
+
+    def test_roles_sweep_structure(self):
+        result = run_roles_sweep(
+            [40, 80],
+            n_users=50,
+            methods=("cooccurrence",),
+            repeats=1,
+        )
+        assert result.name == "fig3_roles_sweep"
+        assert result.x_label == "roles"
+
+    def test_all_methods_find_the_same_group_count(self):
+        result = run_roles_sweep(
+            [120],
+            n_users=100,
+            methods=("cooccurrence", "dbscan", "hash"),
+            repeats=1,
+            seed=3,
+        )
+        counts = {p.method: p.n_groups for p in result.points}
+        assert len(set(counts.values())) == 1
+        assert counts["cooccurrence"] > 0  # clusters were planted
+
+    def test_stats_have_requested_repeats(self):
+        result = run_users_sweep(
+            [60], n_roles=30, methods=("cooccurrence",), repeats=3
+        )
+        assert result.points[0].stats.n == 3
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_users_sweep([], n_roles=10)
+
+    def test_method_labels_cover_paper_methods(self):
+        assert set(METHOD_LABELS) >= {"cooccurrence", "dbscan", "hnsw"}
+
+
+class TestRealDataset:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_real_dataset(OrgProfile.small(divisor=200, seed=5))
+
+    def test_measured_equals_expected(self, result):
+        assert result.measured_counts == result.expected_counts
+
+    def test_count_rows_shape(self, result):
+        rows = result.count_rows()
+        assert len(rows) == len(result.measured_counts)
+        for metric, expected, measured in rows:
+            assert expected == measured, metric
+
+    def test_consolidation_applied(self, result):
+        assert result.consolidation["applied_roles_removed"] > 0
+        assert result.reduction_description
+
+    def test_timings_recorded(self, result):
+        assert result.analysis_seconds > 0
+        assert "duplicate_roles" in result.detector_timings
+
+    def test_without_consolidation(self):
+        result = run_real_dataset(
+            OrgProfile.small(divisor=400, seed=6), apply_consolidation=False
+        )
+        assert "applied_roles_removed" not in result.consolidation
+        assert result.reduction_description == ""
+
+
+class TestDensitySweep:
+    def test_structure_and_ground_truth(self):
+        from repro.benchharness import run_density_sweep
+
+        result = run_density_sweep(
+            [0.02, 0.10],
+            n_roles=80,
+            n_cols=120,
+            methods=("cooccurrence",),
+            repeats=1,
+        )
+        assert result.name == "density_sweep"
+        assert result.x_label == "density_permille"
+        assert {p.x for p in result.points} == {20, 100}
+        assert all(p.n_groups > 0 for p in result.points)
+
+    def test_empty_densities_rejected(self):
+        from repro.benchharness import run_density_sweep
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_density_sweep([])

@@ -1,0 +1,89 @@
+"""Unit tests for figure/table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness import (
+    render_real_dataset_table,
+    render_series_csv,
+    render_series_table,
+    run_real_dataset,
+    run_users_sweep,
+)
+from repro.datagen import OrgProfile, PlantedCounts
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_users_sweep(
+        [40, 80], n_roles=30, methods=("cooccurrence", "hash"), repeats=2
+    )
+
+
+class TestSeriesTable:
+    def test_contains_labels_and_sizes(self, sweep):
+        text = render_series_table(sweep)
+        assert "fig2_users_sweep" in text
+        assert "Our algorithm (co-occurrence)" in text
+        assert "Hash grouping (ablation)" in text
+        assert " 40" in text and " 80" in text
+
+    def test_one_row_per_x(self, sweep):
+        lines = render_series_table(sweep).splitlines()
+        data_lines = [l for l in lines[2:] if l.strip()]
+        assert len(data_lines) == 2
+
+
+class TestSeriesCsv:
+    def test_header_and_rows(self, sweep):
+        csv_text = render_series_csv(sweep)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "users,method,mean_seconds,std_seconds,n_groups"
+        assert len(lines) == 1 + 4
+
+    def test_rows_parse_as_numbers(self, sweep):
+        for line in render_series_csv(sweep).strip().splitlines()[1:]:
+            x, method, mean, std, n_groups = line.split(",")
+            assert int(x) in (40, 80)
+            assert float(mean) >= 0
+            assert float(std) >= 0
+            assert int(n_groups) >= 0
+
+
+class TestRealDatasetTable:
+    def test_planted_measured_columns(self):
+        result = run_real_dataset(OrgProfile.small(divisor=400, seed=6))
+        text = render_real_dataset_table(result)
+        assert "planted" in text
+        assert "measured" in text
+        assert "roles_same_users" in text
+        assert "consolidation could remove" in text
+
+    def test_paper_column_optional(self):
+        result = run_real_dataset(
+            OrgProfile.small(divisor=400, seed=6), apply_consolidation=False
+        )
+        with_paper = render_real_dataset_table(
+            result, paper_counts=PlantedCounts().as_dict()
+        )
+        assert "paper" in with_paper
+        assert "180000" in with_paper  # the paper's standalone permissions
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self, sweep):
+        from repro.benchharness import render_ascii_chart
+
+        chart = render_ascii_chart(sweep)
+        assert "log10(seconds)" in chart
+        assert "o = " in chart
+        assert "* = " in chart
+        assert "users: 40 … 80" in chart
+
+    def test_empty_sweep(self):
+        from repro.benchharness import render_ascii_chart
+        from repro.benchharness.experiments import SweepResult
+
+        empty = SweepResult(name="x", x_label="users", fixed_label="roles=1")
+        assert "no data" in render_ascii_chart(empty)

@@ -1,0 +1,61 @@
+"""Unit tests for the timing harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness import TimingStats, time_call
+from repro.exceptions import ConfigurationError
+
+
+class TestTimingStats:
+    def test_requires_runs(self):
+        with pytest.raises(ConfigurationError):
+            TimingStats(())
+
+    def test_single_run(self):
+        stats = TimingStats((2.0,))
+        assert stats.mean == 2.0
+        assert stats.std == 0.0
+        assert stats.n == 1
+
+    def test_known_mean_std(self):
+        stats = TimingStats((1.0, 3.0))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_str_format(self):
+        text = str(TimingStats((0.5, 0.5)))
+        assert "0.500s" in text
+        assert "n=2" in text
+
+
+class TestTimeCall:
+    def test_repeats_and_result(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return "value"
+
+        stats, result = time_call(work, repeats=4)
+        assert len(calls) == 4
+        assert stats.n == 4
+        assert result == "value"
+        assert all(duration >= 0 for duration in stats.runs)
+
+    def test_default_five_repeats_matches_paper_protocol(self):
+        stats, _ = time_call(lambda: None)
+        assert stats.n == 5
+
+    def test_repeats_validated(self):
+        with pytest.raises(ConfigurationError):
+            time_call(lambda: None, repeats=0)
+
+    def test_measures_real_time(self):
+        import time
+
+        stats, _ = time_call(lambda: time.sleep(0.01), repeats=2)
+        assert stats.mean >= 0.009

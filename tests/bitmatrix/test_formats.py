@@ -1,0 +1,66 @@
+"""Unit tests for the sparse-format evaluation helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import evaluate_formats, recommend_format
+from repro.bitmatrix.formats import DEFAULT_FORMATS
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(30)
+    return (rng.random((120, 200)) < 0.05).astype(bool)
+
+
+class TestEvaluateFormats:
+    def test_default_formats_measured(self, matrix):
+        stats = evaluate_formats(matrix, repeats=1)
+        assert [s.format for s in stats] == list(DEFAULT_FORMATS)
+        for entry in stats:
+            assert entry.conversion_seconds >= 0
+            assert entry.product_seconds >= 0
+            assert entry.memory_bytes > 0
+
+    def test_lil_is_slower_at_products(self, matrix):
+        """The reason LIL/DOK are excluded by default: their products are
+        drastically slower — exactly the 'choose the type based on
+        experimental evaluation' point of the paper."""
+        stats = {
+            s.format: s
+            for s in evaluate_formats(
+                matrix, formats=("csr", "lil"), repeats=1
+            )
+        }
+        assert stats["lil"].product_seconds > stats["csr"].product_seconds
+
+    def test_unknown_format_rejected(self, matrix):
+        with pytest.raises(ConfigurationError, match="unknown sparse format"):
+            evaluate_formats(matrix, formats=("bsr2",))
+
+    def test_repeats_validated(self, matrix):
+        with pytest.raises(ConfigurationError):
+            evaluate_formats(matrix, repeats=0)
+
+    def test_to_dict(self, matrix):
+        entry = evaluate_formats(matrix, formats=("csr",), repeats=1)[0]
+        payload = entry.to_dict()
+        assert payload["format"] == "csr"
+        assert set(payload) == {
+            "format", "conversion_seconds", "memory_bytes", "product_seconds",
+        }
+
+
+class TestRecommendFormat:
+    def test_recommends_a_requested_format(self, matrix):
+        choice = recommend_format(matrix, repeats=1)
+        assert choice in DEFAULT_FORMATS
+
+    def test_accepts_sparse_input(self, matrix):
+        import scipy.sparse as sp
+
+        choice = recommend_format(sp.csr_matrix(matrix), repeats=1)
+        assert choice in DEFAULT_FORMATS

@@ -1,0 +1,178 @@
+"""Unit tests for the bit-packed matrix substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import BitMatrix, popcount
+
+
+class TestPopcount:
+    def test_zero(self):
+        words = np.zeros(3, dtype=np.uint64)
+        assert popcount(words).tolist() == [0, 0, 0]
+
+    def test_all_ones(self):
+        words = np.full(2, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        assert popcount(words).tolist() == [64, 64]
+
+    def test_known_values(self):
+        words = np.array([1, 3, 0xFF, 1 << 63], dtype=np.uint64)
+        assert popcount(words).tolist() == [1, 2, 8, 1]
+
+    def test_matches_python_bincount(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**63, size=100, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount(words).tolist() == expected
+
+    def test_preserves_shape(self):
+        words = np.zeros((4, 7), dtype=np.uint64)
+        assert popcount(words).shape == (4, 7)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            popcount(np.zeros(3, dtype=np.int64))
+
+
+class TestConstruction:
+    def test_shape_preserved(self):
+        bits = BitMatrix([[1, 0, 1], [0, 0, 0]])
+        assert bits.shape == (2, 3)
+        assert bits.n_rows == 2
+        assert bits.n_cols == 3
+        assert len(bits) == 2
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            BitMatrix([1, 0, 1])
+
+    def test_words_padded_to_64_bits(self):
+        bits = BitMatrix(np.ones((2, 70), dtype=bool))
+        assert bits.words.shape == (2, 2)
+
+    def test_words_are_readonly(self):
+        bits = BitMatrix([[1, 0]])
+        with pytest.raises(ValueError):
+            bits.words[0, 0] = 1
+
+    def test_empty_columns_edge_case(self):
+        bits = BitMatrix(np.zeros((3, 1), dtype=bool))
+        assert bits.row_popcounts.tolist() == [0, 0, 0]
+
+
+class TestRoundTrip:
+    def test_row_unpack(self):
+        data = [[1, 0, 1, 1], [0, 1, 0, 0]]
+        bits = BitMatrix(data)
+        assert bits.row(0).tolist() == [True, False, True, True]
+        assert bits.row(1).tolist() == [False, True, False, False]
+
+    def test_row_out_of_range(self):
+        bits = BitMatrix([[1]])
+        with pytest.raises(IndexError):
+            bits.row(1)
+
+    def test_to_dense_round_trips(self):
+        rng = np.random.default_rng(1)
+        dense = rng.random((13, 131)) < 0.3
+        assert np.array_equal(BitMatrix(dense).to_dense(), dense)
+
+    def test_iteration_yields_rows(self):
+        dense = np.eye(3, dtype=bool)
+        rows = list(BitMatrix(dense))
+        assert len(rows) == 3
+        for i, row in enumerate(rows):
+            assert np.array_equal(row, dense[i])
+
+
+class TestHamming:
+    def test_identical_rows_distance_zero(self):
+        bits = BitMatrix([[1, 1, 0], [1, 1, 0]])
+        assert bits.hamming(0, 1) == 0
+
+    def test_known_distance(self):
+        bits = BitMatrix([[1, 1, 0, 0], [1, 0, 1, 0]])
+        assert bits.hamming(0, 1) == 2
+
+    def test_distance_across_word_boundary(self):
+        a = np.zeros(130, dtype=bool)
+        b = np.zeros(130, dtype=bool)
+        a[[0, 64, 129]] = True
+        b[[1, 64, 128]] = True
+        bits = BitMatrix(np.stack([a, b]))
+        assert bits.hamming(0, 1) == 4
+
+    def test_hamming_to_row(self):
+        bits = BitMatrix([[1, 0], [0, 1], [1, 0]])
+        assert bits.hamming_to_row(0).tolist() == [0, 2, 0]
+
+    def test_hamming_block_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        dense = rng.random((9, 77)) < 0.4
+        bits = BitMatrix(dense)
+        rows_a = np.array([0, 3, 5], dtype=np.intp)
+        rows_b = np.array([1, 2], dtype=np.intp)
+        block = bits.hamming_block(rows_a, rows_b)
+        for i, a in enumerate(rows_a):
+            for j, b in enumerate(rows_b):
+                assert block[i, j] == bits.hamming(int(a), int(b))
+
+    def test_pairwise_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(3)
+        dense = rng.random((20, 40)) < 0.5
+        matrix = BitMatrix(dense).pairwise_hamming(block_size=7)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_pairwise_matches_numpy(self):
+        rng = np.random.default_rng(4)
+        dense = rng.random((15, 33)) < 0.5
+        expected = (dense[:, None, :] != dense[None, :, :]).sum(axis=2)
+        got = BitMatrix(dense).pairwise_hamming(block_size=4)
+        assert np.array_equal(got, expected)
+
+    def test_rows_within_hamming_includes_self(self):
+        bits = BitMatrix([[1, 0], [0, 1], [1, 0]])
+        assert bits.rows_within_hamming(0, 0).tolist() == [0, 2]
+        assert bits.rows_within_hamming(1, 2).tolist() == [0, 1, 2]
+
+
+class TestGrouping:
+    def test_row_keys_equal_iff_content_equal(self):
+        bits = BitMatrix([[1, 0], [1, 0], [0, 1]])
+        keys = bits.row_keys()
+        assert keys[0] == keys[1]
+        assert keys[0] != keys[2]
+
+    def test_equal_row_groups(self):
+        bits = BitMatrix(
+            [
+                [1, 0, 0],
+                [0, 1, 0],
+                [1, 0, 0],
+                [0, 0, 1],
+                [0, 1, 0],
+                [1, 0, 0],
+            ]
+        )
+        assert bits.equal_row_groups() == [[0, 2, 5], [1, 4]]
+
+    def test_no_groups_when_all_unique(self):
+        bits = BitMatrix(np.eye(4, dtype=bool))
+        assert bits.equal_row_groups() == []
+
+    def test_all_zero_rows_group_together(self):
+        bits = BitMatrix(np.zeros((3, 5), dtype=bool))
+        assert bits.equal_row_groups() == [[0, 1, 2]]
+
+    def test_padding_bits_do_not_leak_into_keys(self):
+        # 65 columns forces a second word with 63 padding bits; two rows
+        # differing only in their final column must get distinct keys.
+        a = np.zeros(65, dtype=bool)
+        b = np.zeros(65, dtype=bool)
+        b[64] = True
+        bits = BitMatrix(np.stack([a, b]))
+        assert bits.equal_row_groups() == []
+        assert bits.hamming(0, 1) == 1

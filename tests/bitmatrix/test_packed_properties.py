@@ -1,0 +1,92 @@
+"""Property-based tests for the bit-packed matrix substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitmatrix import BitMatrix
+
+
+def bool_matrices(max_rows: int = 12, max_cols: int = 150):
+    return hnp.arrays(
+        dtype=bool,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=max_rows),
+            st.integers(min_value=1, max_value=max_cols),
+        ),
+    )
+
+
+class TestRoundTripProperties:
+    @given(bool_matrices())
+    @settings(max_examples=60)
+    def test_pack_unpack_identity(self, dense):
+        assert np.array_equal(BitMatrix(dense).to_dense(), dense)
+
+    @given(bool_matrices())
+    @settings(max_examples=60)
+    def test_row_popcounts_match_sums(self, dense):
+        bits = BitMatrix(dense)
+        assert bits.row_popcounts.tolist() == dense.sum(axis=1).tolist()
+
+
+class TestHammingProperties:
+    @given(bool_matrices(max_rows=8, max_cols=100), st.data())
+    @settings(max_examples=60)
+    def test_hamming_matches_xor_count(self, dense, data):
+        bits = BitMatrix(dense)
+        n = dense.shape[0]
+        i = data.draw(st.integers(min_value=0, max_value=n - 1))
+        j = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert bits.hamming(i, j) == int(np.count_nonzero(dense[i] != dense[j]))
+
+    @given(bool_matrices(max_rows=8, max_cols=80))
+    @settings(max_examples=40)
+    def test_hamming_is_a_metric(self, dense):
+        bits = BitMatrix(dense)
+        n = dense.shape[0]
+        for i in range(n):
+            assert bits.hamming(i, i) == 0
+            for j in range(n):
+                assert bits.hamming(i, j) == bits.hamming(j, i)
+                for k in range(n):
+                    assert (
+                        bits.hamming(i, k)
+                        <= bits.hamming(i, j) + bits.hamming(j, k)
+                    )
+
+
+class TestGroupingProperties:
+    @given(bool_matrices(max_rows=15, max_cols=40))
+    @settings(max_examples=60)
+    def test_groups_contain_exactly_equal_rows(self, dense):
+        bits = BitMatrix(dense)
+        groups = bits.equal_row_groups()
+        # Every group's rows are mutually equal…
+        for group in groups:
+            for member in group[1:]:
+                assert np.array_equal(dense[group[0]], dense[member])
+        # …and every equal pair is inside some group.
+        grouped = {m for g in groups for m in g}
+        n = dense.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if np.array_equal(dense[i], dense[j]):
+                    assert i in grouped and j in grouped
+
+    @given(bool_matrices(max_rows=12, max_cols=30))
+    @settings(max_examples=40)
+    def test_groups_are_disjoint_and_sorted(self, dense):
+        groups = BitMatrix(dense).equal_row_groups()
+        seen: set[int] = set()
+        previous_first = -1
+        for group in groups:
+            assert len(group) >= 2
+            assert group == sorted(group)
+            assert group[0] > previous_first
+            previous_first = group[0]
+            assert not (seen & set(group))
+            seen.update(group)

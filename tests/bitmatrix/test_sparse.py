@@ -1,0 +1,114 @@
+"""Unit tests for the sparse co-occurrence helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.bitmatrix import (
+    cooccurrence,
+    csr_row_keys,
+    equal_row_groups_sparse,
+    row_norms,
+    to_csr,
+)
+
+
+class TestToCsr:
+    def test_from_dense_bool(self):
+        csr = to_csr(np.array([[True, False], [False, True]]))
+        assert sp.issparse(csr)
+        assert csr.dtype == np.int64
+        assert csr.toarray().tolist() == [[1, 0], [0, 1]]
+
+    def test_from_list(self):
+        csr = to_csr([[1, 0, 1]])
+        assert csr.toarray().tolist() == [[1, 0, 1]]
+
+    def test_from_sparse_passthrough(self):
+        original = sp.coo_matrix(np.eye(3))
+        csr = to_csr(original)
+        assert isinstance(csr, sp.csr_matrix)
+        assert csr.dtype == np.int64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_csr([1, 0, 1])
+
+
+class TestCooccurrence:
+    def test_paper_example_matrix(self):
+        # RUAM of Figure 1: R01={U01}, R02={U02,U03}, R03={}, R04={U02,U03},
+        # R05={U04} — the co-occurrence matrix printed in §III-C.
+        ruam = [
+            [1, 0, 0, 0],
+            [0, 1, 1, 0],
+            [0, 0, 0, 0],
+            [0, 1, 1, 0],
+            [0, 0, 0, 1],
+        ]
+        cooc = cooccurrence(ruam).toarray()
+        expected = [
+            [1, 0, 0, 0, 0],
+            [0, 2, 0, 2, 0],
+            [0, 0, 0, 0, 0],
+            [0, 2, 0, 2, 0],
+            [0, 0, 0, 0, 1],
+        ]
+        assert cooc.tolist() == expected
+
+    def test_diagonal_is_row_norm(self):
+        rng = np.random.default_rng(5)
+        dense = rng.random((10, 30)) < 0.3
+        cooc = cooccurrence(dense).toarray()
+        assert np.array_equal(np.diag(cooc), dense.sum(axis=1))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(6)
+        dense = rng.random((8, 20)) < 0.4
+        cooc = cooccurrence(dense).toarray()
+        assert np.array_equal(cooc, cooc.T)
+
+
+class TestRowNorms:
+    def test_matches_dense_sums(self):
+        dense = np.array([[1, 1, 0], [0, 0, 0], [1, 1, 1]], dtype=bool)
+        assert row_norms(dense).tolist() == [2, 0, 3]
+
+
+class TestCsrRowKeys:
+    def test_equal_rows_share_keys(self):
+        keys = csr_row_keys([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert keys[0] == keys[1]
+        assert keys[0] != keys[2]
+
+    def test_unsorted_indices_are_canonicalised(self):
+        # Build a CSR with deliberately unsorted indices in one row.
+        indptr = np.array([0, 2, 4])
+        indices = np.array([2, 0, 0, 2])
+        data = np.ones(4, dtype=np.int64)
+        messy = sp.csr_matrix((data, indices, indptr), shape=(2, 3))
+        keys = csr_row_keys(messy)
+        assert keys[0] == keys[1]
+
+    def test_empty_rows_share_a_key(self):
+        keys = csr_row_keys(np.zeros((3, 4), dtype=bool))
+        assert keys[0] == keys[1] == keys[2]
+
+
+class TestEqualRowGroupsSparse:
+    def test_matches_bitmatrix_grouping(self):
+        from repro.bitmatrix import BitMatrix
+
+        rng = np.random.default_rng(7)
+        dense = rng.random((30, 12)) < 0.2
+        dense[5] = dense[17]
+        dense[3] = dense[29]
+        assert (
+            equal_row_groups_sparse(dense)
+            == BitMatrix(dense).equal_row_groups()
+        )
+
+    def test_empty_matrix(self):
+        assert equal_row_groups_sparse(np.zeros((0, 3), dtype=bool)) == []

@@ -1,0 +1,355 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.io import load_json, save_json
+
+
+@pytest.fixture
+def dataset_path(paper_example, tmp_path):
+    path = tmp_path / "dataset.json"
+    save_json(paper_example, path)
+    return path
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing-dir")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_text_output(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "RBAC inefficiency report" in out
+        assert "roles_same_users" in out
+
+    def test_json_output(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["roles_same_users"] == 2
+
+    def test_markdown_output(self, dataset_path, capsys):
+        assert (
+            main(["analyze", str(dataset_path), "--format", "markdown"]) == 0
+        )
+        assert "| Inefficiency | Count |" in capsys.readouterr().out
+
+    def test_finder_option(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--finder", "dbscan"]) == 0
+
+    def test_csv_directory_input(self, paper_example, tmp_path, capsys):
+        from repro.io import save_csv
+
+        save_csv(paper_example, tmp_path / "csvdir")
+        assert main(["analyze", str(tmp_path / "csvdir")]) == 0
+
+
+class TestGenerate:
+    def test_org_json(self, tmp_path, capsys):
+        output = tmp_path / "org.json"
+        assert (
+            main(
+                [
+                    "generate", "org", str(output),
+                    "--scale-divisor", "500", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        state = load_json(output)
+        assert state.n_roles == 100
+        assert "wrote" in capsys.readouterr().out
+
+    def test_departmental_csv(self, tmp_path, capsys):
+        output = tmp_path / "dept"
+        assert main(["generate", "departmental", str(output), "--csv"]) == 0
+        from repro.io import load_csv
+
+        assert load_csv(output).n_roles > 0
+
+
+class TestPlan:
+    def test_plan_text(self, dataset_path, capsys):
+        assert main(["plan", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "remediation plan" in out
+        assert "merge roles" in out
+
+    def test_plan_json(self, dataset_path, capsys):
+        assert main(["plan", str(dataset_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(a["action"] == "merge_roles" for a in payload["actions"])
+
+    def test_plan_apply_writes_cleaned_dataset(
+        self, dataset_path, tmp_path, capsys
+    ):
+        output = tmp_path / "cleaned.json"
+        assert (
+            main(["plan", str(dataset_path), "--apply", str(output)]) == 0
+        )
+        cleaned = load_json(output)
+        assert cleaned.n_roles == 2
+        assert "roles: 5 -> 2" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_fig2_quick(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--experiment", "fig2", "--scale", "0.05",
+                    "--repeats", "1", "--methods", "cooccurrence",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig2_users_sweep" in out
+
+    def test_fig3_csv_output(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--experiment", "fig3", "--scale", "0.05",
+                    "--repeats", "1", "--methods", "cooccurrence,hash",
+                    "--csv",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("roles,method,mean_seconds")
+
+    def test_real_quick(self, capsys):
+        assert (
+            main(
+                [
+                    "bench", "--experiment", "real",
+                    "--scale-divisor", "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "real-dataset experiment" in out
+        assert "paper" in out
+
+
+class TestDiffCommand:
+    def test_diff_text(self, paper_example, tmp_path, capsys):
+        from repro.remediation import apply_plan, build_plan
+        from repro.core import analyze
+
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        save_json(paper_example, old_path)
+        cleaned = apply_plan(paper_example, build_plan(analyze(paper_example)))
+        save_json(cleaned, new_path)
+        assert main(["diff", str(old_path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "analysis delta" in out
+        assert "resolved findings" in out
+
+    def test_diff_json(self, dataset_path, capsys):
+        assert main(["diff", str(dataset_path), str(dataset_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"] == []
+        assert payload["resolved"] == []
+
+
+class TestAnonymizeCommand:
+    def test_anonymize_json(self, dataset_path, tmp_path, capsys):
+        output = tmp_path / "anon.json"
+        assert (
+            main(["anonymize", str(dataset_path), str(output), "--key", "k"])
+            == 0
+        )
+        anon = load_json(output)
+        assert anon.n_roles == 5
+        assert not anon.has_role("R01")
+        assert "wrote anonymised dataset" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_text(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset statistics" in out
+        assert "users / role" in out
+
+    def test_stats_json(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entities"]["roles"] == 5
+
+
+class TestAnalyzeCsvFormat:
+    def test_csv_findings(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "severity,type,axis,entity_kind,entity_ids,message"
+        assert any("duplicate_roles" in line for line in lines)
+
+
+class TestRenderCommand:
+    def test_render_to_stdout(self, dataset_path, capsys):
+        assert main(["render", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('graph "rbac" {')
+        assert '"role:R04"' in out
+        assert "#f4cccc" in out  # standalone P01 highlighted
+
+    def test_render_plain(self, dataset_path, capsys):
+        assert main(["render", str(dataset_path), "--plain"]) == 0
+        assert "#f4cccc" not in capsys.readouterr().out
+
+    def test_render_to_file(self, dataset_path, tmp_path, capsys):
+        output = tmp_path / "graph.dot"
+        assert main(["render", str(dataset_path), str(output)]) == 0
+        assert output.read_text().startswith("graph")
+        assert "wrote DOT graph" in capsys.readouterr().out
+
+
+class TestExtensionsFlag:
+    @pytest.fixture
+    def shadowed_dataset(self, tmp_path):
+        from repro.core.state import RbacState
+
+        state = RbacState.build(
+            users=["a", "b"],
+            roles=["big", "small"],
+            permissions=["p", "q"],
+            user_assignments=[("big", "a"), ("big", "b"), ("small", "a")],
+            permission_assignments=[
+                ("big", "p"), ("big", "q"), ("small", "p"),
+            ],
+        )
+        path = tmp_path / "shadowed.json"
+        save_json(state, path)
+        return path
+
+    def test_analyze_extensions(self, shadowed_dataset, capsys):
+        assert (
+            main(["analyze", str(shadowed_dataset), "--extensions",
+                  "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert any(
+            f["type"] == "shadowed_role" for f in payload["findings"]
+        )
+
+    def test_analyze_without_extensions(self, shadowed_dataset, capsys):
+        assert (
+            main(["analyze", str(shadowed_dataset), "--format", "json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert not any(
+            f["type"] == "shadowed_role" for f in payload["findings"]
+        )
+
+    def test_plan_extensions(self, shadowed_dataset, capsys):
+        assert main(["plan", str(shadowed_dataset), "--extensions"]) == 0
+        assert "shadowed by 'big'" in capsys.readouterr().out
+
+
+class TestUsageCommand:
+    @pytest.fixture
+    def usage_files(self, tmp_path):
+        from repro.core.state import RbacState
+        from repro.usage import AccessLog, save_access_log_csv
+
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["r1", "r2"],
+            permissions=["p1", "p2"],
+            user_assignments=[("r1", "u1"), ("r2", "u2")],
+            permission_assignments=[("r1", "p1"), ("r2", "p2")],
+        )
+        dataset = tmp_path / "state.json"
+        save_json(state, dataset)
+        log = AccessLog()
+        log.record("u1", "p1", timestamp=1.0)
+        log_path = tmp_path / "log.csv"
+        save_access_log_csv(log, log_path)
+        return dataset, log_path
+
+    def test_usage_text(self, usage_files, capsys):
+        dataset, log_path = usage_files
+        assert main(["usage", str(dataset), str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "usage analysis" in out
+        assert "dormant roles:          1 of 2" in out
+
+    def test_usage_json(self, usage_files, capsys):
+        dataset, log_path = usage_files
+        assert main(["usage", str(dataset), str(log_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dormant_roles"] == 1
+        assert payload["events"] == 1
+
+
+class TestHierarchyFlag:
+    def test_analyze_flattens_through_hierarchy(self, tmp_path, capsys):
+        from repro.core.state import RbacState
+        from repro.hierarchy import RoleHierarchy, save_hierarchy_json
+
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["base", "variant-a", "variant-b"],
+            permissions=["p1", "p2"],
+            user_assignments=[
+                ("variant-a", "u1"), ("variant-a", "u2"),
+                ("variant-b", "u1"), ("variant-b", "u2"),
+            ],
+            permission_assignments=[
+                ("base", "p1"), ("variant-a", "p2"),
+                ("variant-b", "p1"), ("variant-b", "p2"),
+            ],
+        )
+        dataset = tmp_path / "state.json"
+        save_json(state, dataset)
+        hierarchy_path = tmp_path / "hierarchy.json"
+        save_hierarchy_json(
+            RoleHierarchy([("variant-a", "base")]), hierarchy_path
+        )
+
+        assert main(["analyze", str(dataset), "--format", "json"]) == 0
+        flat = json.loads(capsys.readouterr().out)
+        assert flat["counts"]["roles_same_permissions"] == 0
+
+        assert (
+            main([
+                "analyze", str(dataset),
+                "--hierarchy", str(hierarchy_path),
+                "--format", "json",
+            ])
+            == 0
+        )
+        through = json.loads(capsys.readouterr().out)
+        assert through["counts"]["roles_same_permissions"] == 2
+
+
+class TestBenchDensity:
+    def test_density_experiment(self, capsys):
+        assert (
+            main([
+                "bench", "--experiment", "density", "--scale", "0.02",
+                "--repeats", "1", "--methods", "cooccurrence",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "density_sweep" in out
+        assert "300" in out  # densest point of the sweep

@@ -1,0 +1,144 @@
+"""Unit tests for the from-scratch DBSCAN implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import DBSCAN, NOISE, labels_to_groups
+from repro.exceptions import ConfigurationError
+
+
+class TestParameters:
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DBSCAN(eps=-1.0)
+
+    def test_min_samples_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DBSCAN(eps=1.0, min_samples=0)
+
+
+class TestDuplicateDetectionSemantics:
+    """min_samples=2, eps≈0 — the paper's type-4 configuration."""
+
+    def test_duplicates_cluster_unique_rows_are_noise(self):
+        data = np.array(
+            [
+                [1, 0, 0],
+                [0, 1, 0],
+                [1, 0, 0],
+                [0, 0, 1],
+            ],
+            dtype=bool,
+        )
+        labels = DBSCAN(eps=1e-6, min_samples=2).fit_predict(data)
+        assert labels[0] == labels[2] != NOISE
+        assert labels[1] == NOISE
+        assert labels[3] == NOISE
+
+    def test_multiple_groups_get_distinct_labels(self):
+        data = np.array(
+            [[1, 0], [0, 1], [1, 0], [0, 1], [1, 1]], dtype=bool
+        )
+        labels = DBSCAN(eps=1e-6, min_samples=2).fit_predict(data)
+        assert labels[0] == labels[2]
+        assert labels[1] == labels[3]
+        assert labels[0] != labels[1]
+        assert labels[4] == NOISE
+
+    def test_all_identical_is_one_cluster(self):
+        data = np.ones((5, 3), dtype=bool)
+        labels = DBSCAN(eps=1e-6, min_samples=2).fit_predict(data)
+        assert set(labels.tolist()) == {0}
+
+    def test_empty_input(self):
+        labels = DBSCAN(eps=0.5).fit_predict(np.zeros((0, 4), dtype=bool))
+        assert labels.tolist() == []
+
+
+class TestSimilarityChaining:
+    """eps = k + ε: clusters are components of the distance<=k graph."""
+
+    def test_chain_joins_transitively(self):
+        # a-b at distance 1, b-c at distance 1, a-c at distance 2: all one
+        # cluster at eps=1 (the chaining semantics shared with the
+        # custom algorithm).
+        data = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 1, 1, 0],
+                [1, 1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels = DBSCAN(eps=1 + 1e-6, min_samples=2).fit_predict(data)
+        assert labels[0] == labels[1] == labels[2] != NOISE
+
+    def test_far_point_stays_noise(self):
+        data = np.array(
+            [
+                [1, 1, 0, 0, 0, 0],
+                [1, 1, 1, 0, 0, 0],
+                [0, 0, 0, 1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels = DBSCAN(eps=1 + 1e-6, min_samples=2).fit_predict(data)
+        assert labels[0] == labels[1] != NOISE
+        assert labels[2] == NOISE
+
+
+class TestMinSamplesAboveTwo:
+    def test_border_points_join_but_do_not_expand(self):
+        # Classic DBSCAN shape: a dense core of 4 identical points plus a
+        # point at distance 1 (border when min_samples=4).
+        data = np.array(
+            [
+                [1, 1, 0],
+                [1, 1, 0],
+                [1, 1, 0],
+                [1, 1, 0],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels = DBSCAN(eps=1 + 1e-6, min_samples=4).fit_predict(data)
+        assert labels[0] == labels[1] == labels[2] == labels[3] != NOISE
+        assert labels[4] == labels[0]  # border point absorbed
+
+    def test_sparse_points_all_noise_with_high_min_samples(self):
+        data = np.eye(4, dtype=bool)
+        labels = DBSCAN(eps=1e-6, min_samples=3).fit_predict(data)
+        assert all(label == NOISE for label in labels)
+
+
+class TestBackends:
+    def test_bitpacked_equals_dense_backend(self):
+        rng = np.random.default_rng(9)
+        data = rng.random((60, 30)) < 0.2
+        data[10] = data[40]
+        data[11] = data[40]
+        dense_labels = DBSCAN(eps=1e-6, metric="hamming").fit_predict(data)
+        packed_labels = DBSCAN(
+            eps=1e-6, metric="bitpacked-hamming"
+        ).fit_predict(data)
+        assert np.array_equal(dense_labels, packed_labels)
+
+    def test_labels_stored_on_instance(self):
+        clusterer = DBSCAN(eps=1e-6)
+        labels = clusterer.fit_predict(np.ones((3, 2), dtype=bool))
+        assert clusterer.labels_ is labels
+
+
+class TestLabelsToGroups:
+    def test_noise_dropped(self):
+        labels = np.array([0, NOISE, 0, 1, 1, NOISE], dtype=np.intp)
+        assert labels_to_groups(labels) == [[0, 2], [3, 4]]
+
+    def test_ordering_by_smallest_member(self):
+        labels = np.array([1, 1, 0, 0], dtype=np.intp)
+        assert labels_to_groups(labels) == [[0, 1], [2, 3]]
+
+    def test_empty(self):
+        assert labels_to_groups(np.array([], dtype=np.intp)) == []

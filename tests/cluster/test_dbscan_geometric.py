@@ -1,0 +1,115 @@
+"""DBSCAN as a general clusterer: classic geometric scenarios.
+
+The RBAC use case only exercises Hamming space with min_samples=2; these
+tests validate the substrate against the scenarios DBSCAN was designed
+for (Ester et al.'s own motivation): Gaussian blobs, noise rejection,
+and non-convex shapes — guarding against an implementation that only
+happens to work on boolean duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import DBSCAN, NOISE
+
+
+def gaussian_blobs(
+    centers: list[tuple[float, float]],
+    n_per_blob: int = 40,
+    spread: float = 0.08,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    points = []
+    labels = []
+    for blob_index, center in enumerate(centers):
+        points.append(
+            rng.normal(loc=center, scale=spread, size=(n_per_blob, 2))
+        )
+        labels.extend([blob_index] * n_per_blob)
+    return np.vstack(points), np.asarray(labels)
+
+
+class TestGaussianBlobs:
+    def test_two_well_separated_blobs(self):
+        data, truth = gaussian_blobs([(0.0, 0.0), (5.0, 5.0)])
+        labels = DBSCAN(
+            eps=0.5, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        assert set(labels.tolist()) == {0, 1}
+        # every found cluster maps to exactly one true blob
+        for found in (0, 1):
+            blob_ids = set(truth[labels == found].tolist())
+            assert len(blob_ids) == 1
+
+    def test_three_blobs(self):
+        data, truth = gaussian_blobs(
+            [(0.0, 0.0), (4.0, 0.0), (2.0, 4.0)]
+        )
+        labels = DBSCAN(
+            eps=0.5, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        assert len(set(labels.tolist()) - {NOISE}) == 3
+
+    def test_outliers_marked_noise(self):
+        data, _ = gaussian_blobs([(0.0, 0.0)])
+        with_outliers = np.vstack(
+            [data, [[50.0, 50.0], [-40.0, 10.0], [0.0, 99.0]]]
+        )
+        labels = DBSCAN(
+            eps=0.5, min_samples=4, metric="euclidean"
+        ).fit_predict(with_outliers)
+        assert labels[-1] == NOISE
+        assert labels[-2] == NOISE
+        assert labels[-3] == NOISE
+        assert labels[0] != NOISE
+
+    def test_eps_too_small_fragments_everything(self):
+        data, _ = gaussian_blobs([(0.0, 0.0)], n_per_blob=30)
+        labels = DBSCAN(
+            eps=1e-9, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        assert all(label == NOISE for label in labels)
+
+    def test_eps_huge_merges_everything(self):
+        data, _ = gaussian_blobs([(0.0, 0.0), (5.0, 5.0)])
+        labels = DBSCAN(
+            eps=100.0, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        assert set(labels.tolist()) == {0}
+
+
+class TestNonConvexShapes:
+    def test_ring_around_a_core(self):
+        """A dense ring and a central blob: density clustering must keep
+        them apart even though the ring 'surrounds' the blob (the case
+        centroid methods get wrong)."""
+        rng = np.random.default_rng(1)
+        angles = rng.uniform(0, 2 * np.pi, size=150)
+        ring = np.stack(
+            [3.0 * np.cos(angles), 3.0 * np.sin(angles)], axis=1
+        ) + rng.normal(scale=0.05, size=(150, 2))
+        core = rng.normal(scale=0.2, size=(60, 2))
+        data = np.vstack([ring, core])
+        labels = DBSCAN(
+            eps=0.6, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        ring_labels = set(labels[:150].tolist()) - {NOISE}
+        core_labels = set(labels[150:].tolist()) - {NOISE}
+        assert len(ring_labels) == 1
+        assert len(core_labels) == 1
+        assert ring_labels != core_labels
+
+
+class TestDeterminism:
+    def test_same_input_same_labels(self):
+        data, _ = gaussian_blobs([(0.0, 0.0), (4.0, 4.0)], seed=2)
+        first = DBSCAN(eps=0.5, min_samples=4, metric="euclidean").fit_predict(
+            data
+        )
+        second = DBSCAN(
+            eps=0.5, min_samples=4, metric="euclidean"
+        ).fit_predict(data)
+        assert np.array_equal(first, second)

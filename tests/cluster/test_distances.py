@@ -1,0 +1,126 @@
+"""Unit tests for the metric library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster import (
+    METRICS,
+    euclidean_distances,
+    hamming_distances,
+    jaccard_distances,
+    manhattan_distances,
+    resolve_metric,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestHamming:
+    def test_counts_differing_positions(self):
+        block = np.array([[1, 1, 0], [0, 0, 0]], dtype=float)
+        query = np.array([1, 0, 0], dtype=float)
+        assert hamming_distances(block, query).tolist() == [1.0, 1.0]
+
+    def test_identical_is_zero(self):
+        block = np.array([[1, 0, 1]], dtype=float)
+        assert hamming_distances(block, block[0]).tolist() == [0.0]
+
+    def test_is_count_not_fraction(self):
+        block = np.zeros((1, 10))
+        query = np.ones(10)
+        assert hamming_distances(block, query)[0] == 10.0
+
+
+class TestManhattan:
+    def test_matches_hamming_on_binary(self):
+        rng = np.random.default_rng(0)
+        block = (rng.random((20, 15)) < 0.5).astype(float)
+        query = (rng.random(15) < 0.5).astype(float)
+        assert np.array_equal(
+            manhattan_distances(block, query), hamming_distances(block, query)
+        )
+
+    def test_non_binary_values(self):
+        block = np.array([[3.0, -1.0]])
+        query = np.array([1.0, 1.0])
+        assert manhattan_distances(block, query)[0] == pytest.approx(4.0)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        block = np.array([[3.0, 4.0]])
+        query = np.array([0.0, 0.0])
+        assert euclidean_distances(block, query)[0] == pytest.approx(5.0)
+
+    def test_binary_relation_to_hamming(self):
+        rng = np.random.default_rng(1)
+        block = (rng.random((10, 12)) < 0.5).astype(float)
+        query = (rng.random(12) < 0.5).astype(float)
+        hamming = hamming_distances(block, query)
+        euclid = euclidean_distances(block, query)
+        assert np.allclose(euclid, np.sqrt(hamming))
+
+
+class TestJaccard:
+    def test_disjoint_sets(self):
+        block = np.array([[1, 1, 0, 0]], dtype=float)
+        query = np.array([0, 0, 1, 1], dtype=float)
+        assert jaccard_distances(block, query)[0] == pytest.approx(1.0)
+
+    def test_identical_sets(self):
+        block = np.array([[1, 0, 1]], dtype=float)
+        assert jaccard_distances(block, block[0])[0] == pytest.approx(0.0)
+
+    def test_both_empty_is_zero(self):
+        block = np.zeros((1, 4))
+        query = np.zeros(4)
+        assert jaccard_distances(block, query)[0] == pytest.approx(0.0)
+
+    def test_half_overlap(self):
+        block = np.array([[1, 1, 0]], dtype=float)
+        query = np.array([1, 0, 1], dtype=float)
+        # intersection 1, union 3
+        assert jaccard_distances(block, query)[0] == pytest.approx(2.0 / 3.0)
+
+
+class TestResolveMetric:
+    def test_resolves_names(self):
+        for name in METRICS:
+            assert resolve_metric(name) is METRICS[name]
+
+    def test_passes_through_callables(self):
+        fn = lambda block, query: np.zeros(len(block))  # noqa: E731
+        assert resolve_metric(fn) is fn
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            resolve_metric("cosine")
+
+
+class TestMetricAxioms:
+    @given(
+        hnp.arrays(
+            dtype=bool,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=20),
+            ),
+        ),
+        st.sampled_from(["hamming", "manhattan", "euclidean", "jaccard"]),
+    )
+    @settings(max_examples=60)
+    def test_nonnegative_and_symmetric(self, dense, name):
+        metric = METRICS[name]
+        block = dense.astype(float)
+        for i in range(len(block)):
+            distances = metric(block, block[i])
+            assert (distances >= 0).all()
+            assert distances[i] == pytest.approx(0.0)
+            # symmetry: d(x_j, x_i) computed both ways
+            for j in range(len(block)):
+                other_way = metric(block[i][None, :], block[j])[0]
+                assert distances[j] == pytest.approx(other_way)

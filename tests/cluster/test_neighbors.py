@@ -1,0 +1,71 @@
+"""Unit tests for the neighbour-search backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import BitMatrix
+from repro.cluster import BitpackedHammingSearch, BruteForceSearch
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def binary_data():
+    rng = np.random.default_rng(8)
+    return (rng.random((25, 40)) < 0.3).astype(bool)
+
+
+class TestBruteForce:
+    def test_n_points(self, binary_data):
+        assert BruteForceSearch(binary_data).n_points == 25
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            BruteForceSearch(np.zeros(5))
+
+    def test_query_point_always_included(self, binary_data):
+        search = BruteForceSearch(binary_data)
+        for i in range(5):
+            assert i in search.radius_neighbors(i, 0.0)
+
+    def test_radius_zero_finds_duplicates(self):
+        data = np.array([[1, 0], [1, 0], [0, 1]], dtype=bool)
+        search = BruteForceSearch(data)
+        assert search.radius_neighbors(0, 0.0).tolist() == [0, 1]
+        assert search.radius_neighbors(2, 0.0).tolist() == [2]
+
+    def test_radius_grows_monotonically(self, binary_data):
+        search = BruteForceSearch(binary_data)
+        small = set(search.radius_neighbors(0, 2.0).tolist())
+        large = set(search.radius_neighbors(0, 5.0).tolist())
+        assert small <= large
+
+    def test_custom_metric(self):
+        data = np.array([[0.0, 0.0], [3.0, 4.0], [10.0, 0.0]])
+        search = BruteForceSearch(data, metric="euclidean")
+        assert search.radius_neighbors(0, 5.0).tolist() == [0, 1]
+
+
+class TestBitpackedHamming:
+    def test_matches_brute_force(self, binary_data):
+        brute = BruteForceSearch(binary_data, metric="hamming")
+        packed = BitpackedHammingSearch(binary_data)
+        for i in range(binary_data.shape[0]):
+            for eps in (0.0, 1.0, 3.0, 10.0):
+                assert (
+                    packed.radius_neighbors(i, eps).tolist()
+                    == brute.radius_neighbors(i, eps).tolist()
+                )
+
+    def test_accepts_prebuilt_bitmatrix(self, binary_data):
+        bits = BitMatrix(binary_data)
+        search = BitpackedHammingSearch(bits)
+        assert search.bits is bits
+        assert search.n_points == binary_data.shape[0]
+
+    def test_fractional_eps_floors(self):
+        # eps = 0.5 must behave like eps = 0 on integer Hamming distances.
+        data = np.array([[1, 0], [0, 1]], dtype=bool)
+        search = BitpackedHammingSearch(data)
+        assert search.radius_neighbors(0, 0.5).tolist() == [0]

@@ -1,0 +1,76 @@
+"""Unit tests for the disconnected-role detector (type 2)."""
+
+from __future__ import annotations
+
+from repro.core.detectors import AnalysisContext, DisconnectedRoleDetector
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis
+
+
+def detect(state: RbacState):
+    return DisconnectedRoleDetector().detect(AnalysisContext(state))
+
+
+class TestDetection:
+    def test_role_without_users(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["r1"],
+            permissions=["p1", "p2"],
+            permission_assignments=[("r1", "p1"), ("r1", "p2")],
+        )
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.USERS
+        assert findings[0].entity_ids == ("r1",)
+        assert findings[0].details == {"n_permissions": 2}
+
+    def test_role_without_permissions(self):
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["r1"],
+            permissions=["p1"],
+            user_assignments=[("r1", "u1"), ("r1", "u2")],
+        )
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.PERMISSIONS
+        assert findings[0].details == {"n_users": 2}
+
+    def test_fully_connected_role_not_flagged(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["r1"],
+            permissions=["p1"],
+            user_assignments=[("r1", "u1")],
+            permission_assignments=[("r1", "p1")],
+        )
+        assert detect(state) == []
+
+    def test_standalone_role_excluded(self):
+        """A role with neither side is type 1, not type 2."""
+        state = RbacState.build(roles=["r1"])
+        assert detect(state) == []
+
+    def test_mixed_population(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["ok", "no-users", "no-perms", "empty"],
+            permissions=["p1"],
+            user_assignments=[("ok", "u1"), ("no-perms", "u1")],
+            permission_assignments=[("ok", "p1"), ("no-users", "p1")],
+        )
+        findings = detect(state)
+        by_axis = {f.axis: f.entity_ids[0] for f in findings}
+        assert by_axis == {Axis.USERS: "no-users", Axis.PERMISSIONS: "no-perms"}
+
+    def test_message_mentions_counts(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["r1"],
+            permissions=["p1"],
+            permission_assignments=[("r1", "p1")],
+        )
+        (finding,) = detect(state)
+        assert "no users" in finding.message
+        assert "1 permissions" in finding.message

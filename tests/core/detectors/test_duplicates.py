@@ -1,0 +1,95 @@
+"""Unit tests for the duplicate-roles detector (type 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors import AnalysisContext, DuplicateRolesDetector
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis, Severity
+from repro.datagen import add_role_twin
+
+
+def detect(state: RbacState, **kwargs):
+    return DuplicateRolesDetector(**kwargs).detect(AnalysisContext(state))
+
+
+@pytest.fixture
+def base_state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2", "u3"],
+        roles=["r1", "r2"],
+        permissions=["p1", "p2", "p3"],
+        user_assignments=[("r1", "u1"), ("r1", "u2"), ("r2", "u3")],
+        permission_assignments=[("r1", "p1"), ("r2", "p2"), ("r2", "p3")],
+    )
+
+
+class TestDetection:
+    def test_clean_state(self, base_state):
+        assert detect(base_state) == []
+
+    def test_twin_found_on_both_axes(self, base_state):
+        twin = add_role_twin(base_state, "r1")
+        findings = detect(base_state)
+        assert len(findings) == 2
+        by_axis = {f.axis: f for f in findings}
+        assert by_axis[Axis.USERS].entity_ids == ("r1", twin)
+        assert by_axis[Axis.PERMISSIONS].entity_ids == ("r1", twin)
+
+    def test_same_users_different_permissions(self, base_state):
+        base_state.add_role("r3")
+        base_state.assign_user("r3", "u1")
+        base_state.assign_user("r3", "u2")
+        base_state.assign_permission("r3", "p3")
+        findings = detect(base_state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.USERS
+        assert findings[0].entity_ids == ("r1", "r3")
+
+    def test_group_of_three(self, base_state):
+        first = add_role_twin(base_state, "r1")
+        second = add_role_twin(base_state, "r1")
+        findings = detect(base_state, axes=(Axis.USERS,))
+        assert len(findings) == 1
+        assert findings[0].entity_ids == ("r1", first, second)
+        assert findings[0].details["redundant_roles"] == 2
+
+    def test_empty_roles_do_not_form_groups(self):
+        """Two roles with no users are type-2 findings; treating them as
+        'sharing the same (empty) user set' would be vacuous."""
+        state = RbacState.build(
+            users=["u1"],
+            roles=["a", "b"],
+            permissions=["p1", "p2"],
+            permission_assignments=[("a", "p1"), ("b", "p2")],
+        )
+        findings = detect(state)
+        assert findings == []
+
+    def test_axis_restriction(self, base_state):
+        add_role_twin(base_state, "r1")
+        users_only = detect(base_state, axes=(Axis.USERS,))
+        assert [f.axis for f in users_only] == [Axis.USERS]
+
+    def test_severity_high(self, base_state):
+        add_role_twin(base_state, "r1")
+        for finding in detect(base_state):
+            assert finding.severity is Severity.HIGH
+
+    def test_details_shared_count(self, base_state):
+        add_role_twin(base_state, "r2")
+        findings = detect(base_state, axes=(Axis.PERMISSIONS,))
+        assert findings[0].details["shared_count"] == 2  # p2, p3
+
+    @pytest.mark.parametrize("finder", ["cooccurrence", "dbscan", "hash", "hnsw"])
+    def test_finder_plumbing(self, base_state, finder):
+        twin = add_role_twin(base_state, "r1")
+        findings = detect(base_state, finder=finder, axes=(Axis.USERS,))
+        assert [f.entity_ids for f in findings] == [("r1", twin)]
+
+    def test_message_truncates_long_groups(self, base_state):
+        for _ in range(7):
+            add_role_twin(base_state, "r1")
+        findings = detect(base_state, axes=(Axis.USERS,))
+        assert "…" in findings[0].message

@@ -1,0 +1,127 @@
+"""Unit tests for the shadowed-role extension detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisConfig, InefficiencyType, analyze
+from repro.core.detectors import AnalysisContext, ShadowedRoleDetector
+from repro.core.state import RbacState
+
+
+def detect(state: RbacState):
+    return ShadowedRoleDetector().detect(AnalysisContext(state))
+
+
+def two_role_state(
+    big_users, big_perms, small_users, small_perms
+) -> RbacState:
+    users = sorted(set(big_users) | set(small_users))
+    perms = sorted(set(big_perms) | set(small_perms))
+    return RbacState.build(
+        users=users,
+        roles=["big", "small"],
+        permissions=perms,
+        user_assignments=[("big", u) for u in big_users]
+        + [("small", u) for u in small_users],
+        permission_assignments=[("big", p) for p in big_perms]
+        + [("small", p) for p in small_perms],
+    )
+
+
+class TestDetection:
+    def test_fully_dominated_role_found(self):
+        state = two_role_state(
+            ["a", "b"], ["p", "q"], ["a"], ["p"]
+        )
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].entity_ids == ("small",)
+        assert findings[0].details["shadowed_by"] == "big"
+        assert findings[0].type is InefficiencyType.SHADOWED_ROLE
+
+    def test_user_subset_alone_insufficient(self):
+        state = two_role_state(["a", "b"], ["p"], ["a"], ["q"])
+        assert detect(state) == []
+
+    def test_permission_subset_alone_insufficient(self):
+        state = two_role_state(["a"], ["p", "q"], ["b"], ["p"])
+        assert detect(state) == []
+
+    def test_exact_duplicates_excluded(self):
+        """Mutual domination = type 4, handled by the merge planner."""
+        state = two_role_state(["a"], ["p"], ["a"], ["p"])
+        assert detect(state) == []
+
+    def test_equal_users_subset_permissions_is_shadowed(self):
+        state = two_role_state(["a", "b"], ["p", "q"], ["a", "b"], ["p"])
+        findings = detect(state)
+        assert [f.entity_ids for f in findings] == [("small",)]
+
+    def test_roles_with_empty_sides_excluded(self):
+        """One-sided roles are types 1-2; an empty side is trivially a
+        subset of everything and must not produce shadow findings."""
+        state = RbacState.build(
+            users=["a"],
+            roles=["big", "no-perms", "no-users"],
+            permissions=["p"],
+            user_assignments=[("big", "a"), ("no-perms", "a")],
+            permission_assignments=[("big", "p"), ("no-users", "p")],
+        )
+        assert detect(state) == []
+
+    def test_chain_reports_each_dominated_role_once(self):
+        state = RbacState.build(
+            users=["a", "b", "c"],
+            roles=["r1", "r2", "r3"],
+            permissions=["p1", "p2", "p3"],
+            user_assignments=[
+                ("r1", "a"),
+                ("r2", "a"), ("r2", "b"),
+                ("r3", "a"), ("r3", "b"), ("r3", "c"),
+            ],
+            permission_assignments=[
+                ("r1", "p1"),
+                ("r2", "p1"), ("r2", "p2"),
+                ("r3", "p1"), ("r3", "p2"), ("r3", "p3"),
+            ],
+        )
+        findings = detect(state)
+        assert [f.entity_ids[0] for f in findings] == ["r1", "r2"]
+
+    def test_deterministic(self):
+        state = two_role_state(["a", "b"], ["p", "q"], ["a"], ["p"])
+        first = [f.to_dict() for f in detect(state)]
+        second = [f.to_dict() for f in detect(state)]
+        assert first == second
+
+
+class TestEngineIntegration:
+    def test_disabled_by_default(self):
+        state = two_role_state(["a", "b"], ["p", "q"], ["a"], ["p"])
+        report = analyze(state)
+        assert report.of_type(InefficiencyType.SHADOWED_ROLE) == []
+
+    def test_with_extensions_enables(self):
+        state = two_role_state(["a", "b"], ["p", "q"], ["a"], ["p"])
+        report = analyze(state, AnalysisConfig.with_extensions())
+        assert len(report.of_type(InefficiencyType.SHADOWED_ROLE)) == 1
+
+    def test_with_extensions_keeps_other_kwargs(self):
+        config = AnalysisConfig.with_extensions(similarity_threshold=2)
+        assert config.similarity_threshold == 2
+        assert InefficiencyType.SHADOWED_ROLE in config.enabled_types
+        assert InefficiencyType.DUPLICATE_ROLES in config.enabled_types
+
+    def test_paper_example_has_no_shadowed_roles(self, paper_example):
+        report = analyze(paper_example, AnalysisConfig.with_extensions())
+        assert report.of_type(InefficiencyType.SHADOWED_ROLE) == []
+
+    def test_planted_org_has_no_accidental_shadowing(self):
+        from repro.datagen import OrgProfile, generate_org
+
+        org = generate_org(OrgProfile.small(divisor=200, seed=11))
+        report = analyze(org.state, AnalysisConfig.with_extensions())
+        assert report.of_type(InefficiencyType.SHADOWED_ROLE) == []
+        # the paper's five counts are unaffected by enabling the extension
+        assert report.counts() == org.expected_counts()

@@ -1,0 +1,113 @@
+"""Unit tests for the similar-roles detector (type 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors import AnalysisContext, SimilarRolesDetector
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis
+from repro.datagen import add_role_twin, add_similar_role
+from repro.exceptions import ConfigurationError
+
+
+def detect(state: RbacState, **kwargs):
+    return SimilarRolesDetector(**kwargs).detect(AnalysisContext(state))
+
+
+@pytest.fixture
+def base_state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2", "u3", "u4"],
+        roles=["r1"],
+        permissions=["p1", "p2", "p3", "p4"],
+        user_assignments=[("r1", "u1"), ("r1", "u2")],
+        permission_assignments=[("r1", "p1"), ("r1", "p2")],
+    )
+
+
+class TestValidation:
+    def test_threshold_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimilarRolesDetector(max_differences=0)
+
+
+class TestDetection:
+    def test_clean_state(self, base_state):
+        assert detect(base_state) == []
+
+    def test_one_extra_user(self, base_state):
+        similar = add_similar_role(base_state, "r1", extra_user_ids=("u3",))
+        findings = detect(base_state)
+        # users axis: distance 1.  permissions axis: exact duplicates —
+        # those belong to type 4, not here.
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.USERS
+        assert findings[0].entity_ids == ("r1", similar)
+
+    def test_one_extra_permission(self, base_state):
+        similar = add_similar_role(
+            base_state, "r1", extra_permission_ids=("p3",)
+        )
+        findings = detect(base_state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.PERMISSIONS
+        assert findings[0].entity_ids == ("r1", similar)
+
+    def test_distance_two_needs_threshold_two(self, base_state):
+        similar = add_similar_role(
+            base_state, "r1", extra_user_ids=("u3", "u4")
+        )
+        assert detect(base_state, max_differences=1) == []
+        findings = detect(base_state, max_differences=2)
+        assert [f.entity_ids for f in findings] == [("r1", similar)]
+
+    def test_threshold_recorded_in_group(self, base_state):
+        add_similar_role(base_state, "r1", extra_user_ids=("u3",))
+        (finding,) = detect(base_state, max_differences=3)
+        assert finding.group is not None
+        assert finding.group.max_differences == 3
+
+
+class TestDuplicateCollapsing:
+    def test_exact_duplicates_not_reported_as_similar(self, base_state):
+        add_role_twin(base_state, "r1")
+        assert detect(base_state) == []
+
+    def test_duplicate_class_represented_once(self, base_state):
+        """Two copies of r1 plus one near-copy: the near-pair is reported
+        over representatives, with the class size recorded."""
+        add_role_twin(base_state, "r1")
+        similar = add_similar_role(base_state, "r1", extra_user_ids=("u3",))
+        findings = detect(base_state, axes=(Axis.USERS,))
+        assert len(findings) == 1
+        assert findings[0].entity_ids == ("r1", similar)
+        assert findings[0].details["represented_roles"] == 3
+
+    def test_collapse_disabled_reports_all_members(self, base_state):
+        twin = add_role_twin(base_state, "r1")
+        similar = add_similar_role(base_state, "r1", extra_user_ids=("u3",))
+        findings = detect(
+            base_state, axes=(Axis.USERS,), collapse_duplicates=False
+        )
+        assert len(findings) == 1
+        assert set(findings[0].entity_ids) == {"r1", twin, similar}
+
+
+class TestEmptyRows:
+    def test_empty_roles_excluded(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["empty-a", "empty-b", "tiny"],
+            permissions=["p1", "p2", "p3"],
+            user_assignments=[("tiny", "u1")],
+            permission_assignments=[
+                ("empty-a", "p1"),
+                ("empty-b", "p2"),
+                ("tiny", "p3"),
+            ],
+        )
+        # Roles with zero users never join user-axis similarity groups,
+        # even though hamming(empty, {u1}) = 1.
+        findings = detect(state, axes=(Axis.USERS,))
+        assert findings == []

@@ -1,0 +1,74 @@
+"""Unit tests for the single-assignment detector (type 3)."""
+
+from __future__ import annotations
+
+from repro.core.detectors import AnalysisContext, SingleAssignmentDetector
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis, Severity
+
+
+def detect(state: RbacState):
+    return SingleAssignmentDetector().detect(AnalysisContext(state))
+
+
+class TestDetection:
+    def test_single_user_role(self):
+        state = RbacState.build(
+            users=["ceo"],
+            roles=["r1"],
+            permissions=["p1", "p2"],
+            user_assignments=[("r1", "ceo")],
+            permission_assignments=[("r1", "p1"), ("r1", "p2")],
+        )
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.USERS
+        assert findings[0].entity_ids == ("r1",)
+
+    def test_single_permission_role(self):
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["r1"],
+            permissions=["p1"],
+            user_assignments=[("r1", "u1"), ("r1", "u2")],
+            permission_assignments=[("r1", "p1")],
+        )
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].axis is Axis.PERMISSIONS
+
+    def test_role_single_on_both_axes_reported_twice(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["r1"],
+            permissions=["p1"],
+            user_assignments=[("r1", "u1")],
+            permission_assignments=[("r1", "p1")],
+        )
+        findings = detect(state)
+        assert len(findings) == 2
+        assert {f.axis for f in findings} == {Axis.USERS, Axis.PERMISSIONS}
+
+    def test_zero_assignment_role_not_flagged(self):
+        """Empty sides are types 1-2, not type 3."""
+        state = RbacState.build(roles=["r1"])
+        assert detect(state) == []
+
+    def test_two_assignments_not_flagged(self):
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["r1"],
+            permissions=[],
+            user_assignments=[("r1", "u1"), ("r1", "u2")],
+        )
+        assert detect(state) == []
+
+    def test_severity_is_informational(self):
+        """The paper: a single-user role may be legitimate (e.g. the CEO),
+        so these findings rank lowest."""
+        state = RbacState.build(
+            users=["u1"], roles=["r1"], permissions=[],
+            user_assignments=[("r1", "u1")],
+        )
+        (finding,) = detect(state)
+        assert finding.severity is Severity.INFO

@@ -1,0 +1,82 @@
+"""Unit tests for the standalone-node detector (type 1)."""
+
+from __future__ import annotations
+
+from repro.core.detectors import AnalysisContext, StandaloneNodeDetector
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import InefficiencyType
+from repro.datagen import (
+    add_standalone_permission,
+    add_standalone_role,
+    add_standalone_user,
+)
+
+
+def detect(state: RbacState):
+    return StandaloneNodeDetector().detect(AnalysisContext(state))
+
+
+def connected_state() -> RbacState:
+    return RbacState.build(
+        users=["u1"],
+        roles=["r1"],
+        permissions=["p1"],
+        user_assignments=[("r1", "u1")],
+        permission_assignments=[("r1", "p1")],
+    )
+
+
+class TestDetection:
+    def test_clean_state_has_no_findings(self):
+        assert detect(connected_state()) == []
+
+    def test_standalone_user(self):
+        state = connected_state()
+        user_id = add_standalone_user(state)
+        findings = detect(state)
+        assert len(findings) == 1
+        assert findings[0].entity_kind is EntityKind.USER
+        assert findings[0].entity_ids == (user_id,)
+        assert findings[0].type is InefficiencyType.STANDALONE_NODE
+
+    def test_standalone_permission(self):
+        state = connected_state()
+        permission_id = add_standalone_permission(state)
+        findings = detect(state)
+        assert [f.entity_ids for f in findings] == [(permission_id,)]
+        assert findings[0].entity_kind is EntityKind.PERMISSION
+
+    def test_standalone_role_needs_both_sides_empty(self):
+        state = connected_state()
+        role_id = add_standalone_role(state)
+        findings = detect(state)
+        assert [f.entity_ids for f in findings] == [(role_id,)]
+        assert findings[0].entity_kind is EntityKind.ROLE
+
+    def test_one_sided_role_is_not_standalone(self):
+        state = connected_state()
+        state.add_role("r2")
+        state.assign_user("r2", "u1")  # users but no permissions
+        assert detect(state) == []
+
+    def test_multiple_standalones_all_reported(self):
+        state = connected_state()
+        ids = {
+            add_standalone_user(state),
+            add_standalone_user(state),
+            add_standalone_permission(state),
+            add_standalone_role(state),
+        }
+        findings = detect(state)
+        assert {f.entity_ids[0] for f in findings} == ids
+
+    def test_user_unassigned_after_revocation_detected(self):
+        state = connected_state()
+        state.revoke_user("r1", "u1")
+        findings = detect(state)
+        kinds = {f.entity_kind for f in findings}
+        assert EntityKind.USER in kinds
+
+    def test_empty_state(self):
+        assert detect(RbacState()) == []

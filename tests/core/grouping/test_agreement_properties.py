@@ -1,0 +1,144 @@
+"""Property-based cross-method agreement.
+
+The paper's central correctness claim: the custom co-occurrence algorithm
+"consistently identifies all clusters" — i.e. it is *exact*, matching the
+DBSCAN baseline on every input.  These properties hammer that claim on
+random boolean matrices, including degenerate shapes (empty rows, all-one
+rows, duplicate-heavy data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.grouping import (
+    CooccurrenceGroupFinder,
+    DbscanGroupFinder,
+    HashGroupFinder,
+    LshGroupFinder,
+)
+
+
+def bool_matrices(max_rows: int = 16, max_cols: int = 12):
+    return hnp.arrays(
+        dtype=bool,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=max_rows),
+            st.integers(min_value=1, max_value=max_cols),
+        ),
+    )
+
+
+def duplicate_heavy_matrices():
+    """Matrices built by sampling rows from a small vocabulary, which
+    guarantees plenty of duplicates and near-duplicates."""
+    return st.builds(
+        lambda picks, vocab: np.array([vocab[i] for i in picks], dtype=bool),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=20),
+        st.just(
+            [
+                [0, 0, 0, 0, 0],
+                [1, 0, 0, 0, 0],
+                [1, 1, 0, 0, 0],
+                [1, 1, 1, 1, 1],
+            ]
+        ),
+    )
+
+
+class TestCooccurrenceMatchesDbscan:
+    @given(bool_matrices(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_random_matrices(self, dense, k):
+        assert (
+            CooccurrenceGroupFinder().find_groups(dense, k)
+            == DbscanGroupFinder().find_groups(dense, k)
+        )
+
+    @given(duplicate_heavy_matrices(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_heavy_matrices(self, dense, k):
+        assert (
+            CooccurrenceGroupFinder().find_groups(dense, k)
+            == DbscanGroupFinder().find_groups(dense, k)
+        )
+
+
+class TestCooccurrenceMatchesHashAtZero:
+    @given(bool_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_duplicates(self, dense):
+        assert (
+            CooccurrenceGroupFinder().find_groups(dense, 0)
+            == HashGroupFinder().find_groups(dense, 0)
+        )
+
+
+class TestLshExactAtZeroSoundAboveZero:
+    @given(bool_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_lsh_complete_at_zero(self, dense):
+        """Identical rows always collide, so k=0 LSH equals the exact
+        methods on every input."""
+        assert (
+            LshGroupFinder().find_groups(dense, 0)
+            == CooccurrenceGroupFinder().find_groups(dense, 0)
+        )
+
+    @given(bool_matrices(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_lsh_sound_above_zero(self, dense, k):
+        """Every LSH group is a subset of the corresponding exact
+        component (sound; possibly incomplete)."""
+        exact = CooccurrenceGroupFinder().find_groups(dense, k)
+        for group in LshGroupFinder().find_groups(dense, k):
+            assert any(set(group) <= set(component) for component in exact)
+
+
+class TestOutputInvariants:
+    @given(bool_matrices(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_groups_well_formed(self, dense, k):
+        groups = CooccurrenceGroupFinder().find_groups(dense, k)
+        seen: set[int] = set()
+        previous_first = -1
+        for group in groups:
+            assert len(group) >= 2
+            assert group == sorted(group)
+            assert group[0] > previous_first
+            previous_first = group[0]
+            assert not (seen & set(group))
+            seen.update(group)
+            assert all(0 <= member < dense.shape[0] for member in group)
+
+    @given(bool_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_groups_have_equal_rows(self, dense):
+        for group in CooccurrenceGroupFinder().find_groups(dense, 0):
+            for member in group[1:]:
+                assert np.array_equal(dense[group[0]], dense[member])
+
+    @given(bool_matrices(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_groups_are_connected(self, dense, k):
+        """Every member has at least one other member within distance k
+        (it joined the component through *some* edge)."""
+        for group in CooccurrenceGroupFinder().find_groups(dense, k):
+            for member in group:
+                distances = [
+                    int(np.count_nonzero(dense[member] != dense[other]))
+                    for other in group
+                    if other != member
+                ]
+                assert min(distances) <= k
+
+    @given(bool_matrices(), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotonicity(self, dense, k):
+        small = CooccurrenceGroupFinder().find_groups(dense, k)
+        large = CooccurrenceGroupFinder().find_groups(dense, k + 1)
+        for group in small:
+            assert any(set(group) <= set(bigger) for bigger in large)

@@ -1,0 +1,211 @@
+"""Unit tests shared across the group finders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.grouping import (
+    GROUP_FINDERS,
+    CooccurrenceGroupFinder,
+    DbscanGroupFinder,
+    HashGroupFinder,
+    HnswGroupFinder,
+    make_group_finder,
+)
+from repro.exceptions import ConfigurationError
+
+EXACT_FINDERS = ["cooccurrence", "dbscan", "hash", "lsh"]  # lsh is complete at k=0
+ALL_FINDERS = EXACT_FINDERS + ["hnsw"]
+# LSH is deliberately excluded here: completeness at k >= 1 depends on
+# the Jaccard similarity of the pair (its documented trade-off); its own
+# soundness/recall tests live in tests/lsh/.
+SIMILARITY_FINDERS = ["cooccurrence", "dbscan", "hnsw"]
+
+
+class TestRegistry:
+    def test_all_finders_registered(self):
+        assert set(GROUP_FINDERS) == {
+            "cooccurrence", "dbscan", "hnsw", "hash", "lsh",
+        }
+
+    def test_factory_builds_instances(self):
+        assert isinstance(
+            make_group_finder("cooccurrence"), CooccurrenceGroupFinder
+        )
+        assert isinstance(make_group_finder("dbscan"), DbscanGroupFinder)
+        assert isinstance(make_group_finder("hnsw"), HnswGroupFinder)
+        assert isinstance(make_group_finder("hash"), HashGroupFinder)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown group finder"):
+            make_group_finder("kmeans")
+
+    def test_kwargs_forwarded(self):
+        finder = make_group_finder("hnsw", m=4, ef_search=16)
+        assert finder._m == 4
+        assert finder._ef_search == 16
+
+
+@pytest.mark.parametrize("name", ALL_FINDERS)
+class TestCommonBehaviour:
+    def test_empty_matrix(self, name):
+        finder = make_group_finder(name)
+        assert finder.find_groups(np.zeros((0, 4), dtype=bool), 0) == []
+
+    def test_negative_threshold_rejected(self, name):
+        finder = make_group_finder(name)
+        with pytest.raises(ConfigurationError):
+            finder.find_groups(np.zeros((2, 2), dtype=bool), -1)
+
+    def test_no_duplicates_no_groups(self, name):
+        finder = make_group_finder(name)
+        assert finder.find_groups(np.eye(5, dtype=bool), 0) == []
+
+    def test_simple_duplicate_pair(self, name):
+        data = np.array([[1, 0, 1], [0, 1, 0], [1, 0, 1]], dtype=bool)
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 0) == [[0, 2]]
+
+    def test_accepts_sparse_input(self, name):
+        data = sp.csr_matrix(
+            np.array([[1, 0], [1, 0], [0, 1]], dtype=np.int64)
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 0) == [[0, 1]]
+
+    def test_accepts_assignment_matrix(self, name):
+        from repro.core.matrices import AssignmentMatrix
+
+        matrix = AssignmentMatrix(
+            np.array([[1, 1], [1, 1], [1, 0]], dtype=bool),
+            ["r1", "r2", "r3"],
+            ["u1", "u2"],
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(matrix, 0) == [[0, 1]]
+
+
+@pytest.mark.parametrize("name", EXACT_FINDERS)
+class TestExactSemantics:
+    def test_groups_are_equivalence_classes(self, name):
+        data = np.array(
+            [
+                [1, 0, 0],
+                [0, 1, 0],
+                [1, 0, 0],
+                [0, 1, 0],
+                [1, 0, 0],
+                [0, 0, 1],
+            ],
+            dtype=bool,
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 0) == [[0, 2, 4], [1, 3]]
+
+    def test_all_empty_rows_form_a_group(self, name):
+        data = np.zeros((3, 4), dtype=bool)
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 0) == [[0, 1, 2]]
+
+
+@pytest.mark.parametrize("name", SIMILARITY_FINDERS)
+class TestSimilaritySemantics:
+    def test_distance_one_pair(self, name):
+        data = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 1, 1, 0],
+                [0, 0, 0, 1],
+            ],
+            dtype=bool,
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 1) == [[0, 1]]
+
+    def test_distance_two_not_grouped_at_one(self, name):
+        data = np.array(
+            [
+                [1, 1, 0, 0, 0, 0],
+                [1, 1, 1, 1, 0, 0],
+            ],
+            dtype=bool,
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 1) == []
+
+    def test_distance_two_grouped_at_two(self, name):
+        data = np.array(
+            [
+                [1, 1, 0, 0, 0, 0],
+                [1, 1, 1, 1, 0, 0],
+            ],
+            dtype=bool,
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 2) == [[0, 1]]
+
+    def test_chaining_components(self, name):
+        # a~b and b~c at distance 1; a-c at distance 2: one component.
+        data = np.array(
+            [
+                [1, 0, 0, 0],
+                [1, 1, 0, 0],
+                [1, 1, 1, 0],
+            ],
+            dtype=bool,
+        )
+        finder = make_group_finder(name)
+        assert finder.find_groups(data, 1) == [[0, 1, 2]]
+
+
+class TestCooccurrenceEdgeCases:
+    """Pairs invisible to the sparse product (zero overlap)."""
+
+    def test_two_empty_rows_at_k0(self):
+        data = np.array([[0, 0], [0, 0], [1, 0]], dtype=bool)
+        assert CooccurrenceGroupFinder().find_groups(data, 0) == [[0, 1]]
+
+    def test_empty_and_singleton_at_k1(self):
+        # distance({}, {a}) = 1 despite zero co-occurrence.
+        data = np.array([[0, 0, 0], [1, 0, 0], [0, 0, 1]], dtype=bool)
+        groups = CooccurrenceGroupFinder().find_groups(data, 1)
+        assert groups == [[0, 1, 2]]  # chained through the empty row
+
+    def test_disjoint_singletons_at_k2(self):
+        # distance({a}, {b}) = 2 with zero overlap.
+        data = np.array([[1, 0, 0, 0], [0, 1, 0, 0]], dtype=bool)
+        assert CooccurrenceGroupFinder().find_groups(data, 2) == [[0, 1]]
+        assert CooccurrenceGroupFinder().find_groups(data, 1) == []
+
+    def test_matches_dbscan_on_tiny_norm_rows(self):
+        rng = np.random.default_rng(20)
+        data = rng.random((20, 6)) < 0.15  # many tiny/empty rows
+        for k in (0, 1, 2, 3):
+            assert (
+                CooccurrenceGroupFinder().find_groups(data, k)
+                == DbscanGroupFinder().find_groups(data, k)
+            )
+
+
+class TestHashFinderRestrictions:
+    def test_similarity_unsupported(self):
+        with pytest.raises(ConfigurationError, match="max_differences=0"):
+            HashGroupFinder().find_groups(np.zeros((2, 2), dtype=bool), 1)
+
+
+class TestDbscanBackends:
+    def test_bitpacked_backend_equals_default(self):
+        rng = np.random.default_rng(21)
+        data = rng.random((40, 25)) < 0.2
+        data[7] = data[31]
+        default = DbscanGroupFinder().find_groups(data, 0)
+        packed = DbscanGroupFinder(backend="bitpacked-hamming").find_groups(
+            data, 0
+        )
+        assert default == packed
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DbscanGroupFinder(backend="gpu")

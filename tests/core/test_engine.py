@@ -1,0 +1,99 @@
+"""Unit tests for AnalysisConfig / AnalysisEngine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisConfig, AnalysisEngine, InefficiencyType, analyze
+from repro.core.engine import ALL_TYPES
+from repro.exceptions import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = AnalysisConfig()
+        assert config.enabled_types == ALL_TYPES
+        assert config.finder == "cooccurrence"
+        assert config.similarity_threshold == 1
+
+    def test_similarity_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(similarity_threshold=0)
+
+    def test_bogus_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(enabled_types=("duplicates",))  # type: ignore[arg-type]
+
+
+class TestEngine:
+    def test_all_detectors_built_by_default(self):
+        engine = AnalysisEngine()
+        names = [d.name for d in engine.detectors]
+        assert names == [
+            "standalone_nodes",
+            "disconnected_roles",
+            "single_assignment_roles",
+            "duplicate_roles",
+            "similar_roles",
+        ]
+
+    def test_type_subset_builds_fewer_detectors(self):
+        engine = AnalysisEngine(
+            AnalysisConfig(
+                enabled_types=(InefficiencyType.DUPLICATE_ROLES,)
+            )
+        )
+        assert [d.name for d in engine.detectors] == ["duplicate_roles"]
+
+    def test_analyze_is_read_only(self, paper_example):
+        snapshot = paper_example.copy()
+        AnalysisEngine().analyze(paper_example)
+        assert paper_example == snapshot
+
+    def test_report_carries_timings(self, paper_example):
+        report = AnalysisEngine().analyze(paper_example)
+        assert set(report.timings) == {
+            "matrix_build",
+            "standalone_nodes",
+            "disconnected_roles",
+            "single_assignment_roles",
+            "duplicate_roles",
+            "similar_roles",
+        }
+        assert all(t >= 0 for t in report.timings.values())
+        assert report.total_seconds >= sum(report.timings.values()) * 0.5
+
+    def test_analyze_deterministic(self, paper_example):
+        first = AnalysisEngine().analyze(paper_example)
+        second = AnalysisEngine().analyze(paper_example)
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+
+    def test_convenience_function_matches_engine(self, paper_example):
+        assert (
+            analyze(paper_example).counts()
+            == AnalysisEngine().analyze(paper_example).counts()
+        )
+
+    def test_finder_options_forwarded(self, paper_example):
+        config = AnalysisConfig(
+            finder="hnsw", finder_options={"ef_search": 16, "m": 4}
+        )
+        report = analyze(paper_example, config)
+        # the tiny example is easy even for a small-ef index
+        assert report.counts()["roles_same_users"] == 2
+
+    def test_similarity_threshold_flows_to_detector(self, paper_example):
+        # At threshold 2, R01 {P02,P03} and R03 {P03,P04} become similar
+        # on the permission axis (distance 2).
+        report = analyze(paper_example, AnalysisConfig(similarity_threshold=2))
+        similar = report.of_type(InefficiencyType.SIMILAR_ROLES)
+        assert any(set(f.entity_ids) == {"R01", "R03"} for f in similar)
+
+    def test_empty_state(self):
+        from repro.core.state import RbacState
+
+        report = analyze(RbacState())
+        assert report.findings == []
+        assert all(value == 0 for value in report.counts().values())

@@ -1,0 +1,54 @@
+"""Unit tests for entity value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import EntityKind, Permission, Role, User
+
+
+class TestConstruction:
+    def test_minimal_user(self):
+        user = User("u1")
+        assert user.id == "u1"
+        assert user.name == ""
+        assert dict(user.attributes) == {}
+        assert user.kind is EntityKind.USER
+
+    def test_role_and_permission_kinds(self):
+        assert Role("r1").kind is EntityKind.ROLE
+        assert Permission("p1").kind is EntityKind.PERMISSION
+
+    def test_empty_id_rejected(self):
+        for cls in (User, Role, Permission):
+            with pytest.raises(ValueError):
+                cls("")
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(TypeError):
+            User(42)  # type: ignore[arg-type]
+
+    def test_attributes_copied_and_frozen(self):
+        source = {"department": "fraud"}
+        user = User("u1", attributes=source)
+        source["department"] = "changed"
+        assert user.attributes["department"] == "fraud"
+        with pytest.raises(TypeError):
+            user.attributes["department"] = "nope"  # type: ignore[index]
+
+    def test_entities_are_immutable(self):
+        role = Role("r1")
+        with pytest.raises(AttributeError):
+            role.id = "r2"  # type: ignore[misc]
+
+
+class TestEquality:
+    def test_equal_by_value(self):
+        assert User("u1", name="Alice") == User("u1", name="Alice")
+
+    def test_distinct_ids_differ(self):
+        assert User("u1") != User("u2")
+
+    def test_kinds_never_compare_equal(self):
+        assert User("x") != Role("x")
+        assert Role("x") != Permission("x")

@@ -1,0 +1,129 @@
+"""E1 — the worked example of Figure 1, end to end.
+
+The fixture in ``conftest.py`` reconstructs the paper's example network;
+every claim the paper makes about it must be detected exactly:
+
+* P01 is a standalone permission;
+* R02 has no permissions, R03 has no users;
+* R01 and R05 are single-user roles;
+* R02 and R04 share the same users, R04 and R05 the same permissions;
+* the RUAM co-occurrence matrix equals the one printed in §III-C.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmatrix import cooccurrence
+from repro.core import (
+    AnalysisConfig,
+    AssignmentMatrix,
+    Axis,
+    InefficiencyType,
+    analyze,
+)
+from repro.core.entities import EntityKind
+
+
+@pytest.fixture
+def report(paper_example):
+    return analyze(paper_example)
+
+
+class TestCooccurrenceMatrix:
+    def test_matches_paper_table(self, paper_example):
+        ruam = AssignmentMatrix.ruam(paper_example)
+        matrix = cooccurrence(ruam.csr).toarray()
+        expected = [
+            [1, 0, 0, 0, 0],
+            [0, 2, 0, 2, 0],
+            [0, 0, 0, 0, 0],
+            [0, 2, 0, 2, 0],
+            [0, 0, 0, 0, 1],
+        ]
+        assert matrix.tolist() == expected
+
+
+class TestStandaloneNodes:
+    def test_p01_is_the_only_standalone_node(self, report):
+        findings = report.of_type(InefficiencyType.STANDALONE_NODE)
+        assert len(findings) == 1
+        assert findings[0].entity_kind is EntityKind.PERMISSION
+        assert findings[0].entity_ids == ("P01",)
+
+
+class TestDisconnectedRoles:
+    def test_r03_has_no_users(self, report):
+        findings = report.on_axis(
+            InefficiencyType.DISCONNECTED_ROLE, Axis.USERS
+        )
+        assert [f.entity_ids for f in findings] == [("R03",)]
+
+    def test_r02_has_no_permissions(self, report):
+        findings = report.on_axis(
+            InefficiencyType.DISCONNECTED_ROLE, Axis.PERMISSIONS
+        )
+        assert [f.entity_ids for f in findings] == [("R02",)]
+
+
+class TestSingleAssignmentRoles:
+    def test_r01_r05_single_user(self, report):
+        findings = report.on_axis(
+            InefficiencyType.SINGLE_ASSIGNMENT_ROLE, Axis.USERS
+        )
+        assert sorted(f.entity_ids[0] for f in findings) == ["R01", "R05"]
+
+    def test_no_single_permission_roles(self, report):
+        assert (
+            report.on_axis(
+                InefficiencyType.SINGLE_ASSIGNMENT_ROLE, Axis.PERMISSIONS
+            )
+            == []
+        )
+
+
+class TestDuplicateRoles:
+    def test_r02_r04_share_users(self, report):
+        findings = report.on_axis(InefficiencyType.DUPLICATE_ROLES, Axis.USERS)
+        assert [f.entity_ids for f in findings] == [("R02", "R04")]
+
+    def test_r04_r05_share_permissions(self, report):
+        findings = report.on_axis(
+            InefficiencyType.DUPLICATE_ROLES, Axis.PERMISSIONS
+        )
+        assert [f.entity_ids for f in findings] == [("R04", "R05")]
+
+
+class TestSimilarRoles:
+    def test_no_similar_groups_at_threshold_one(self, report):
+        assert report.of_type(InefficiencyType.SIMILAR_ROLES) == []
+
+
+class TestAllThreeMethodsAgree:
+    @pytest.mark.parametrize("finder", ["cooccurrence", "dbscan", "hnsw"])
+    def test_duplicate_findings_identical(self, paper_example, finder):
+        report = analyze(paper_example, AnalysisConfig(finder=finder))
+        users = report.on_axis(InefficiencyType.DUPLICATE_ROLES, Axis.USERS)
+        permissions = report.on_axis(
+            InefficiencyType.DUPLICATE_ROLES, Axis.PERMISSIONS
+        )
+        assert [f.entity_ids for f in users] == [("R02", "R04")]
+        assert [f.entity_ids for f in permissions] == [("R04", "R05")]
+
+
+class TestCounts:
+    def test_count_summary(self, report):
+        counts = report.counts()
+        assert counts == {
+            "standalone_users": 0,
+            "standalone_permissions": 1,
+            "standalone_roles": 0,
+            "roles_without_users": 1,
+            "roles_without_permissions": 1,
+            "single_user_roles": 2,
+            "single_permission_roles": 0,
+            "roles_same_users": 2,
+            "roles_same_permissions": 2,
+            "roles_similar_users": 0,
+            "roles_similar_permissions": 0,
+        }

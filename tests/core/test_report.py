@@ -1,0 +1,126 @@
+"""Unit tests for the Report container and its renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import InefficiencyType, analyze
+from repro.core.taxonomy import Axis
+from repro.datagen import add_role_twin
+
+
+@pytest.fixture
+def report(paper_example):
+    return analyze(paper_example)
+
+
+class TestSelection:
+    def test_of_type(self, report):
+        findings = report.of_type(InefficiencyType.DUPLICATE_ROLES)
+        assert len(findings) == 2
+
+    def test_on_axis(self, report):
+        assert len(
+            report.on_axis(InefficiencyType.DUPLICATE_ROLES, Axis.USERS)
+        ) == 1
+
+    def test_sorted_findings_by_severity(self, report):
+        ranks = [f.severity.rank for f in report.sorted_findings()]
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestCounts:
+    def test_group_counts_are_roles_not_groups(self, paper_example):
+        """A 3-member duplicate group counts as 3 roles (paper: '8,000
+        roles sharing the same users')."""
+        add_role_twin(paper_example, "R04")
+        counts = analyze(paper_example).counts()
+        assert counts["roles_same_permissions"] == 3
+
+    def test_consolidation_potential(self, report):
+        potential = report.consolidation_potential()
+        # Two pair-groups (users axis and permissions axis), one removable
+        # role each.
+        assert potential["removable_via_same_users"] == 1
+        assert potential["removable_via_same_permissions"] == 1
+        assert potential["removable_total_upper_bound"] == 2
+        assert potential["total_roles"] == 5
+        assert potential["fraction_of_roles"] == pytest.approx(0.4)
+
+    def test_consolidation_empty_state(self):
+        from repro.core.state import RbacState
+
+        potential = analyze(RbacState()).consolidation_potential()
+        assert potential["fraction_of_roles"] == 0.0
+
+
+class TestRendering:
+    def test_to_dict_round_trips_through_json(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["dataset"]["roles"] == 5
+        assert payload["counts"]["roles_same_users"] == 2
+        assert payload["n_findings"] == len(report.findings)
+        assert len(payload["findings"]) == len(report.findings)
+
+    def test_to_text_mentions_key_numbers(self, report):
+        text = report.to_text()
+        assert "5 roles" in text
+        assert "roles_same_users" in text
+        assert "counts by inefficiency" in text
+
+    def test_to_text_caps_findings(self, report):
+        text = report.to_text(max_findings=2)
+        assert "showing 2 of" in text
+
+    def test_to_markdown_has_table(self, report):
+        markdown = report.to_markdown()
+        assert "| Inefficiency | Count |" in markdown
+        assert "| roles same users | 2 |" in markdown
+
+    def test_repr(self, report):
+        assert "findings=" in repr(report)
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, report):
+        lines = report.to_csv().strip().splitlines()
+        assert lines[0] == "severity,type,axis,entity_kind,entity_ids,message"
+        assert len(lines) == 1 + len(report.findings)
+
+    def test_rows_ordered_by_severity(self, report):
+        import csv
+        import io
+
+        from repro.core.taxonomy import Severity
+
+        rows = list(csv.DictReader(io.StringIO(report.to_csv())))
+        ranks = [Severity(row["severity"]).rank for row in rows]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_group_entities_joined(self, report):
+        assert "R02;R04" in report.to_csv()
+
+
+class TestExtensionCounts:
+    def test_zero_without_extension_detectors(self, report):
+        assert report.extension_counts() == {"shadowed_roles": 0}
+
+    def test_counts_shadowed_findings(self):
+        from repro.core import AnalysisConfig, analyze
+        from repro.core.state import RbacState
+
+        state = RbacState.build(
+            users=["a", "b"],
+            roles=["big", "small"],
+            permissions=["p", "q"],
+            user_assignments=[("big", "a"), ("big", "b"), ("small", "a")],
+            permission_assignments=[
+                ("big", "p"), ("big", "q"), ("small", "p"),
+            ],
+        )
+        extended = analyze(state, AnalysisConfig.with_extensions())
+        assert extended.extension_counts() == {"shadowed_roles": 1}
+        # the paper's table keys stay untouched
+        assert "shadowed_roles" not in extended.counts()

@@ -1,0 +1,90 @@
+"""Unit tests for report diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze, diff_reports
+from repro.core.reportdiff import finding_key
+from repro.datagen import add_role_twin, add_standalone_user
+from repro.remediation import apply_plan, build_plan
+
+
+class TestFindingKey:
+    def test_key_is_order_insensitive_in_entities(self, paper_example):
+        report = analyze(paper_example)
+        for finding in report.findings:
+            key = finding_key(finding)
+            assert key[2] == tuple(sorted(finding.entity_ids))
+
+
+class TestDiff:
+    def test_identical_reports_empty_diff(self, paper_example):
+        a = analyze(paper_example)
+        b = analyze(paper_example)
+        delta = diff_reports(a, b)
+        assert delta.is_empty
+        assert delta.new_findings == []
+        assert delta.resolved_findings == []
+        assert delta.persisting_count == len(a.findings)
+
+    def test_new_finding_detected(self, paper_example):
+        before = analyze(paper_example)
+        ghost = add_standalone_user(paper_example)
+        after = analyze(paper_example)
+        delta = diff_reports(before, after)
+        assert [f.entity_ids for f in delta.new_findings] == [(ghost,)]
+        assert delta.resolved_findings == []
+        assert delta.count_deltas["standalone_users"] == 1
+
+    def test_resolved_after_remediation(self, paper_example):
+        before = analyze(paper_example)
+        cleaned = apply_plan(paper_example, build_plan(before))
+        after = analyze(cleaned)
+        delta = diff_reports(before, after)
+        assert len(delta.resolved_findings) > 0
+        assert delta.count_deltas["roles_same_users"] == -2
+        assert delta.count_deltas["roles_same_permissions"] == -2
+
+    def test_group_membership_change_is_new_plus_resolved(
+        self, paper_example
+    ):
+        before = analyze(paper_example)
+        twin = add_role_twin(paper_example, "R04")
+        after = analyze(paper_example)
+        delta = diff_reports(before, after)
+        # the permissions group (R04, R05) grew to (R04, R05, twin):
+        # old identity resolved, new identity appears
+        resolved_ids = {f.entity_ids for f in delta.resolved_findings}
+        new_ids = {tuple(sorted(f.entity_ids)) for f in delta.new_findings}
+        assert ("R04", "R05") in resolved_ids
+        assert tuple(sorted(("R04", "R05", twin))) in new_ids
+
+    def test_to_text_shape(self, paper_example):
+        before = analyze(paper_example)
+        add_standalone_user(paper_example, "ghost")
+        after = analyze(paper_example)
+        text = diff_reports(before, after).to_text()
+        assert "new findings:       1" in text
+        assert "+ user 'ghost'" in text
+        assert "standalone_users" in text
+
+    def test_to_dict_round_trips_json(self, paper_example):
+        import json
+
+        before = analyze(paper_example)
+        add_standalone_user(paper_example)
+        after = analyze(paper_example)
+        payload = json.loads(
+            json.dumps(diff_reports(before, after).to_dict())
+        )
+        assert payload["persisting"] == len(before.findings)
+        assert len(payload["new"]) == 1
+
+    def test_listing_caps(self, paper_example):
+        before = analyze(paper_example)
+        for _ in range(15):
+            add_standalone_user(paper_example)
+        after = analyze(paper_example)
+        text = diff_reports(before, after).to_text(max_listed=5)
+        assert "… and 10 more" in text

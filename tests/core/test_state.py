@@ -1,0 +1,196 @@
+"""Unit tests for the RBAC state container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import Permission, Role, User
+from repro.core.state import RbacState
+from repro.exceptions import DuplicateEntityError, UnknownEntityError
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2"],
+        roles=["r1", "r2"],
+        permissions=["p1", "p2", "p3"],
+        user_assignments=[("r1", "u1"), ("r1", "u2"), ("r2", "u1")],
+        permission_assignments=[("r1", "p1"), ("r2", "p2"), ("r2", "p3")],
+    )
+
+
+class TestEntityManagement:
+    def test_counts(self, state):
+        assert state.n_users == 2
+        assert state.n_roles == 2
+        assert state.n_permissions == 3
+        assert state.n_user_assignments == 3
+        assert state.n_permission_assignments == 3
+
+    def test_string_promotion(self):
+        s = RbacState()
+        user = s.add_user("u9")
+        assert isinstance(user, User)
+        assert s.has_user("u9")
+
+    def test_entity_objects_preserved(self):
+        s = RbacState()
+        s.add_role(Role("r9", name="Auditor", attributes={"team": "sec"}))
+        role = s.get_role("r9")
+        assert role.name == "Auditor"
+        assert role.attributes["team"] == "sec"
+
+    def test_duplicate_rejected(self, state):
+        with pytest.raises(DuplicateEntityError):
+            state.add_user("u1")
+        with pytest.raises(DuplicateEntityError):
+            state.add_role("r1")
+        with pytest.raises(DuplicateEntityError):
+            state.add_permission("p1")
+
+    def test_unknown_lookup_raises(self, state):
+        with pytest.raises(UnknownEntityError):
+            state.get_user("nope")
+        with pytest.raises(UnknownEntityError):
+            state.users_of_role("nope")
+
+    def test_id_ordering_is_insertion_order(self, state):
+        assert state.user_ids() == ["u1", "u2"]
+        assert state.role_ids() == ["r1", "r2"]
+        assert state.permission_ids() == ["p1", "p2", "p3"]
+
+
+class TestAssignments:
+    def test_assign_and_query(self, state):
+        assert state.users_of_role("r1") == {"u1", "u2"}
+        assert state.roles_of_user("u1") == {"r1", "r2"}
+        assert state.permissions_of_role("r2") == {"p2", "p3"}
+        assert state.roles_of_permission("p1") == {"r1"}
+
+    def test_assign_is_idempotent(self, state):
+        state.assign_user("r1", "u1")
+        assert state.n_user_assignments == 3
+
+    def test_assign_unknown_role_raises(self, state):
+        with pytest.raises(UnknownEntityError):
+            state.assign_user("nope", "u1")
+
+    def test_assign_unknown_user_raises(self, state):
+        with pytest.raises(UnknownEntityError):
+            state.assign_user("r1", "nope")
+
+    def test_revoke(self, state):
+        state.revoke_user("r1", "u2")
+        assert state.users_of_role("r1") == {"u1"}
+        assert "r1" not in state.roles_of_user("u2")
+
+    def test_revoke_missing_edge_is_noop(self, state):
+        state.revoke_permission("r1", "p2")
+        assert state.n_permission_assignments == 3
+
+    def test_queries_return_frozen_copies(self, state):
+        users = state.users_of_role("r1")
+        assert isinstance(users, frozenset)
+
+
+class TestRemoval:
+    def test_remove_user_cleans_edges(self, state):
+        state.remove_user("u1")
+        assert not state.has_user("u1")
+        assert state.users_of_role("r1") == {"u2"}
+        assert state.users_of_role("r2") == frozenset()
+
+    def test_remove_role_cleans_both_sides(self, state):
+        state.remove_role("r2")
+        assert not state.has_role("r2")
+        assert state.roles_of_user("u1") == {"r1"}
+        assert state.roles_of_permission("p2") == frozenset()
+
+    def test_remove_permission_cleans_edges(self, state):
+        state.remove_permission("p1")
+        assert state.permissions_of_role("r1") == frozenset()
+
+    def test_remove_unknown_raises(self, state):
+        with pytest.raises(UnknownEntityError):
+            state.remove_role("nope")
+
+
+class TestEffectivePermissions:
+    def test_union_over_roles(self, state):
+        assert state.effective_permissions("u1") == {"p1", "p2", "p3"}
+        assert state.effective_permissions("u2") == {"p1"}
+
+    def test_user_with_no_roles(self):
+        s = RbacState()
+        s.add_user("lonely")
+        assert s.effective_permissions("lonely") == frozenset()
+
+    def test_effective_map_covers_all_users(self, state):
+        mapping = state.effective_permission_map()
+        assert set(mapping) == {"u1", "u2"}
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, state):
+        clone = state.copy()
+        clone.revoke_user("r1", "u1")
+        assert state.users_of_role("r1") == {"u1", "u2"}
+        assert clone.users_of_role("r1") == {"u2"}
+
+    def test_equality_by_content(self, state):
+        assert state == state.copy()
+
+    def test_inequality_after_change(self, state):
+        clone = state.copy()
+        clone.assign_permission("r1", "p2")
+        assert state != clone
+
+    def test_repr_mentions_sizes(self, state):
+        text = repr(state)
+        assert "users=2" in text and "roles=2" in text
+
+
+class TestNetworkxExport:
+    def test_tripartite_structure(self, state):
+        graph = state.to_networkx()
+        assert graph.number_of_nodes() == 2 + 2 + 3
+        assert graph.number_of_edges() == 3 + 3
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"user", "role", "permission"}
+
+    def test_edges_only_touch_roles(self, state):
+        graph = state.to_networkx()
+        for a, b in graph.edges():
+            assert a.startswith("role:") or b.startswith("role:")
+
+    def test_id_namespaces_disjoint(self):
+        s = RbacState.build(
+            users=["x"], roles=["x"], permissions=["x"],
+            user_assignments=[("x", "x")],
+        )
+        graph = s.to_networkx()
+        assert graph.number_of_nodes() == 3
+
+
+class TestEffectiveUsers:
+    def test_union_over_roles(self, state):
+        assert state.effective_users("p1") == {"u1", "u2"}
+        assert state.effective_users("p2") == {"u1"}
+
+    def test_unlinked_permission_has_no_users(self):
+        s = RbacState.build(permissions=["orphan"])
+        assert s.effective_users("orphan") == frozenset()
+
+    def test_unknown_permission_raises(self, state):
+        with pytest.raises(UnknownEntityError):
+            state.effective_users("nope")
+
+    def test_converse_of_effective_permissions(self, state):
+        for permission_id in state.permission_ids():
+            holders = state.effective_users(permission_id)
+            for user_id in state.user_ids():
+                expected = permission_id in state.effective_permissions(
+                    user_id
+                )
+                assert (user_id in holders) == expected

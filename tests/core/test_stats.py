@@ -1,0 +1,88 @@
+"""Unit tests for dataset statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dataset_statistics
+from repro.core.state import RbacState
+from repro.core.stats import DistributionSummary, _gini
+
+
+class TestGini:
+    def test_uniform_distribution_is_zero(self):
+        assert _gini(np.array([5, 5, 5, 5])) == pytest.approx(0.0)
+
+    def test_concentrated_distribution_near_one(self):
+        values = np.array([0] * 99 + [1000])
+        assert _gini(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert _gini(np.array([], dtype=np.int64)) == 0.0
+        assert _gini(np.zeros(5, dtype=np.int64)) == 0.0
+
+    def test_known_value(self):
+        # For [1, 3]: gini = (2*(1*1+2*3)/(2*4)) - 3/2 = 14/8 - 12/8 = 0.25
+        assert _gini(np.array([1, 3])) == pytest.approx(0.25)
+
+
+class TestDistributionSummary:
+    def test_of_empty(self):
+        summary = DistributionSummary.of(np.array([], dtype=np.int64))
+        assert summary.count == 0
+        assert summary.total == 0
+
+    def test_of_known_values(self):
+        summary = DistributionSummary.of(np.array([0, 1, 2, 3, 4]))
+        assert summary.count == 5
+        assert summary.total == 10
+        assert summary.minimum == 0
+        assert summary.maximum == 4
+        assert summary.median == 2.0
+        assert summary.mean == 2.0
+        assert summary.zeros == 1
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = DistributionSummary.of(np.array([1, 2])).to_dict()
+        json.dumps(payload)
+
+
+class TestDatasetStatistics:
+    def test_paper_example(self, paper_example):
+        stats = dataset_statistics(paper_example)
+        assert stats.n_users == 4
+        assert stats.n_roles == 5
+        assert stats.n_permissions == 6
+        # RUAM has 6 edges over 5*4 cells
+        assert stats.ruam_density == pytest.approx(6 / 20)
+        # RPAM has 8 edges over 5*6 cells
+        assert stats.rpam_density == pytest.approx(8 / 30)
+        assert stats.users_per_role.total == 6
+        assert stats.permissions_per_role.total == 8
+
+    def test_memory_ratio_matches_paper_formula(self, paper_example):
+        """r*(p+u) vs (r+p+u)^2 — the §III-B memory argument."""
+        stats = dataset_statistics(paper_example)
+        r, u, p = 5, 4, 6
+        assert stats.memory_ratio_vs_full_adjacency == pytest.approx(
+            (r * (p + u)) / (r + p + u) ** 2
+        )
+
+    def test_empty_state(self):
+        stats = dataset_statistics(RbacState())
+        assert stats.n_roles == 0
+        assert stats.ruam_density == 0.0
+
+    def test_to_text_renders(self, paper_example):
+        text = dataset_statistics(paper_example).to_text()
+        assert "users=4 roles=5 permissions=6" in text
+        assert "users / role" in text
+        assert "gini" in text
+
+    def test_to_dict_json_safe(self, paper_example):
+        import json
+
+        json.dumps(dataset_statistics(paper_example).to_dict())

@@ -1,0 +1,136 @@
+"""Unit tests for the inefficiency taxonomy types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import EntityKind
+from repro.core.taxonomy import (
+    DEFAULT_SEVERITY,
+    Axis,
+    Finding,
+    InefficiencyType,
+    RoleGroup,
+    Severity,
+    sort_findings,
+)
+
+
+class TestEnums:
+    def test_paper_taxonomy_plus_one_extension(self):
+        # the paper's five types plus the shadowed-role extension
+        assert len(InefficiencyType) == 6
+        assert InefficiencyType.SHADOWED_ROLE.value == "shadowed_role"
+
+    def test_axis_entity_kinds(self):
+        assert Axis.USERS.entity_kind is EntityKind.USER
+        assert Axis.PERMISSIONS.entity_kind is EntityKind.PERMISSION
+
+    def test_severity_ranks_ordered(self):
+        assert (
+            Severity.INFO.rank
+            < Severity.LOW.rank
+            < Severity.MEDIUM.rank
+            < Severity.HIGH.rank
+        )
+
+    def test_every_type_has_default_severity(self):
+        for kind in InefficiencyType:
+            assert kind in DEFAULT_SEVERITY
+
+
+class TestRoleGroup:
+    def test_minimum_two_members(self):
+        with pytest.raises(ValueError):
+            RoleGroup(role_ids=("r1",), axis=Axis.USERS)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RoleGroup(role_ids=("r1", "r2"), axis=Axis.USERS, max_differences=-1)
+
+    def test_redundant_count(self):
+        group = RoleGroup(role_ids=("a", "b", "c"), axis=Axis.PERMISSIONS)
+        assert group.size == 3
+        assert group.redundant_count == 2
+
+
+class TestFinding:
+    def _finding(self, **overrides):
+        defaults = dict(
+            type=InefficiencyType.STANDALONE_NODE,
+            entity_kind=EntityKind.USER,
+            entity_ids=("u1",),
+            severity=Severity.LOW,
+            message="user 'u1' unused",
+        )
+        defaults.update(overrides)
+        return Finding(**defaults)
+
+    def test_requires_entities(self):
+        with pytest.raises(ValueError):
+            self._finding(entity_ids=())
+
+    def test_to_dict_minimal(self):
+        payload = self._finding().to_dict()
+        assert payload["type"] == "standalone_node"
+        assert payload["entity_ids"] == ["u1"]
+        assert payload["severity"] == "low"
+        assert "axis" not in payload
+        assert "group" not in payload
+
+    def test_to_dict_with_group(self):
+        group = RoleGroup(
+            role_ids=("r1", "r2"), axis=Axis.USERS, max_differences=1
+        )
+        payload = self._finding(
+            type=InefficiencyType.SIMILAR_ROLES,
+            entity_kind=EntityKind.ROLE,
+            entity_ids=("r1", "r2"),
+            axis=Axis.USERS,
+            group=group,
+        ).to_dict()
+        assert payload["axis"] == "users"
+        assert payload["group"]["max_differences"] == 1
+        assert payload["group"]["role_ids"] == ["r1", "r2"]
+
+    def test_details_copied(self):
+        details = {"k": 1}
+        finding = self._finding(details=details)
+        details["k"] = 2
+        assert finding.details["k"] == 1
+
+
+class TestSorting:
+    def test_severity_descending(self):
+        low = Finding(
+            type=InefficiencyType.STANDALONE_NODE,
+            entity_kind=EntityKind.USER,
+            entity_ids=("u1",),
+            severity=Severity.LOW,
+            message="low",
+        )
+        high = Finding(
+            type=InefficiencyType.DUPLICATE_ROLES,
+            entity_kind=EntityKind.ROLE,
+            entity_ids=("r1", "r2"),
+            severity=Severity.HIGH,
+            message="high",
+        )
+        assert sort_findings([low, high]) == [high, low]
+
+    def test_stable_deterministic_tiebreak(self):
+        a = Finding(
+            type=InefficiencyType.STANDALONE_NODE,
+            entity_kind=EntityKind.USER,
+            entity_ids=("a",),
+            severity=Severity.LOW,
+            message="a",
+        )
+        b = Finding(
+            type=InefficiencyType.STANDALONE_NODE,
+            entity_kind=EntityKind.USER,
+            entity_ids=("b",),
+            severity=Severity.LOW,
+            message="b",
+        )
+        assert sort_findings([b, a]) == [a, b]

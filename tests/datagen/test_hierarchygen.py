@@ -1,0 +1,100 @@
+"""Unit tests for the hierarchical organisation generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.datagen import HierarchicalOrgProfile, generate_hierarchical_org
+from repro.exceptions import ConfigurationError
+from repro.hierarchy import (
+    find_redundant_edges,
+    find_void_edges,
+    flatten,
+)
+
+
+class TestProfileValidation:
+    def test_plantings_bounded_by_departments(self):
+        with pytest.raises(ConfigurationError, match="cannot exceed"):
+            HierarchicalOrgProfile(n_departments=2, redundant_edges=3)
+
+    def test_minimum_users(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalOrgProfile(users_per_department=2)
+
+
+class TestGroundTruth:
+    @pytest.fixture(scope="class")
+    def org(self):
+        return generate_hierarchical_org(HierarchicalOrgProfile(seed=5))
+
+    def test_shape(self, org):
+        profile = org.profile
+        # 3 ladder roles per department + placeholders + shadows
+        expected_roles = (
+            3 * profile.n_departments
+            + profile.void_edges
+            + profile.hidden_duplicate_pairs
+        )
+        assert org.state.n_roles == expected_roles
+
+    def test_planted_redundant_edges_found_exactly(self, org):
+        found = {
+            (f.senior, f.junior) for f in find_redundant_edges(org.hierarchy)
+        }
+        assert found == set(org.planted_redundant_edges)
+
+    def test_planted_void_edges_found(self, org):
+        found = {
+            (f.senior, f.junior)
+            for f in find_void_edges(org.state, org.hierarchy)
+        }
+        # planted void edges are all found; planted *redundant* edges are
+        # void too (lead already reaches member's permissions via senior)
+        assert set(org.planted_void_edges) <= found
+        extras = found - set(org.planted_void_edges)
+        assert extras <= set(org.planted_redundant_edges)
+
+    def test_hidden_duplicates_invisible_flat_visible_flattened(self, org):
+        flat_report = analyze(org.state)
+        flat_groups = {
+            frozenset(f.entity_ids)
+            for f in flat_report.findings
+            if f.type.value == "duplicate_roles"
+            and f.axis is not None
+            and f.axis.value == "permissions"
+        }
+        for senior, shadow in org.planted_hidden_duplicates:
+            assert frozenset((senior, shadow)) not in flat_groups
+
+        flattened_report = analyze(flatten(org.state, org.hierarchy))
+        flattened_groups = {
+            frozenset(f.entity_ids)
+            for f in flattened_report.findings
+            if f.type.value == "duplicate_roles"
+            and f.axis is not None
+            and f.axis.value == "permissions"
+        }
+        for senior, shadow in org.planted_hidden_duplicates:
+            assert any(
+                {senior, shadow} <= set(group)
+                for group in flattened_groups
+            )
+
+    def test_deterministic(self):
+        profile = HierarchicalOrgProfile(seed=6)
+        a = generate_hierarchical_org(profile)
+        b = generate_hierarchical_org(profile)
+        assert a.state == b.state
+        assert list(a.hierarchy.edges()) == list(b.hierarchy.edges())
+
+    def test_zero_plantings(self):
+        org = generate_hierarchical_org(
+            HierarchicalOrgProfile(
+                redundant_edges=0, void_edges=0,
+                hidden_duplicate_pairs=0, seed=7,
+            )
+        )
+        assert find_redundant_edges(org.hierarchy) == []
+        assert find_void_edges(org.state, org.hierarchy) == []

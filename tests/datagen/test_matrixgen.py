@@ -1,0 +1,140 @@
+"""Unit tests for the §IV-A matrix generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import CooccurrenceGroupFinder
+from repro.datagen import MatrixSpec, generate_matrix
+from repro.exceptions import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            MatrixSpec(n_roles=-1, n_cols=10)
+        with pytest.raises(ConfigurationError):
+            MatrixSpec(n_roles=10, n_cols=0)
+
+    def test_bad_cluster_proportion(self):
+        with pytest.raises(ConfigurationError):
+            MatrixSpec(n_roles=10, n_cols=10, cluster_proportion=1.5)
+
+    def test_bad_max_cluster_size(self):
+        with pytest.raises(ConfigurationError):
+            MatrixSpec(n_roles=10, n_cols=10, max_cluster_size=1)
+
+    def test_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            MatrixSpec(n_roles=10, n_cols=10, row_density=0.0)
+
+    def test_density_too_high_for_columns(self):
+        with pytest.raises(ConfigurationError, match="row_density too high"):
+            generate_matrix(MatrixSpec(n_roles=4, n_cols=4, row_density=0.99))
+
+
+class TestGeneration:
+    def test_shape(self):
+        generated = generate_matrix(
+            MatrixSpec(n_roles=50, n_cols=80, row_density=0.1)
+        )
+        assert generated.matrix.shape == (50, 80)
+
+    def test_deterministic_per_seed(self):
+        spec = MatrixSpec(n_roles=40, n_cols=60, row_density=0.1, seed=5)
+        a = generate_matrix(spec)
+        b = generate_matrix(spec)
+        assert (a.matrix != b.matrix).nnz == 0
+        assert a.groups == b.groups
+
+    def test_different_seeds_differ(self):
+        base = dict(n_roles=40, n_cols=60, row_density=0.1)
+        a = generate_matrix(MatrixSpec(seed=1, **base))
+        b = generate_matrix(MatrixSpec(seed=2, **base))
+        assert (a.matrix != b.matrix).nnz > 0
+
+    def test_cluster_proportion_respected(self):
+        generated = generate_matrix(
+            MatrixSpec(
+                n_roles=200, n_cols=300, cluster_proportion=0.3,
+                row_density=0.05,
+            )
+        )
+        target = int(200 * 0.3)
+        assert target - 10 <= generated.n_clustered_rows <= target
+
+    def test_zero_cluster_proportion_all_unique(self):
+        generated = generate_matrix(
+            MatrixSpec(
+                n_roles=100, n_cols=200, cluster_proportion=0.0,
+                row_density=0.05,
+            )
+        )
+        assert generated.groups == []
+        assert CooccurrenceGroupFinder().find_groups(generated.matrix, 0) == []
+
+    def test_max_cluster_size_respected(self):
+        generated = generate_matrix(
+            MatrixSpec(
+                n_roles=300, n_cols=400, cluster_proportion=0.5,
+                max_cluster_size=4, row_density=0.03,
+            )
+        )
+        assert generated.groups
+        assert max(len(g) for g in generated.groups) <= 4
+        assert min(len(g) for g in generated.groups) >= 2
+
+    def test_no_empty_rows(self):
+        generated = generate_matrix(
+            MatrixSpec(n_roles=100, n_cols=150, row_density=0.02)
+        )
+        row_sums = np.asarray(generated.matrix.sum(axis=1)).ravel()
+        assert (row_sums > 0).all()
+
+
+class TestGroundTruth:
+    def test_exact_groups_found_by_finder(self):
+        generated = generate_matrix(
+            MatrixSpec(n_roles=250, n_cols=300, row_density=0.04, seed=9)
+        )
+        found = CooccurrenceGroupFinder().find_groups(generated.matrix, 0)
+        assert found == generated.groups
+
+    def test_similar_groups_found_by_finder(self):
+        generated = generate_matrix(
+            MatrixSpec(
+                n_roles=250, n_cols=300, row_density=0.04,
+                differences=1, seed=10,
+            )
+        )
+        found = CooccurrenceGroupFinder().find_groups(generated.matrix, 1)
+        assert found == generated.groups
+
+    def test_similar_members_at_exact_distance(self):
+        generated = generate_matrix(
+            MatrixSpec(
+                n_roles=60, n_cols=120, row_density=0.05,
+                differences=2, seed=11,
+            )
+        )
+        dense = generated.dense
+        for group in generated.groups:
+            # each cluster is a star: base plus members at distance 2
+            base = group[0]
+            popcounts = [dense[m].sum() for m in group]
+            base = group[int(np.argmin(popcounts))]
+            for member in group:
+                if member == base:
+                    continue
+                distance = int(np.count_nonzero(dense[base] != dense[member]))
+                assert distance == 2
+
+    def test_groups_ordered_canonically(self):
+        generated = generate_matrix(
+            MatrixSpec(n_roles=150, n_cols=200, row_density=0.05, seed=12)
+        )
+        firsts = [g[0] for g in generated.groups]
+        assert firsts == sorted(firsts)
+        for group in generated.groups:
+            assert group == sorted(group)

@@ -1,0 +1,95 @@
+"""Unit tests for surgical inefficiency planting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InefficiencyType, analyze
+from repro.core.state import RbacState
+from repro.datagen import (
+    add_role_twin,
+    add_similar_role,
+    add_single_assignment_role,
+    add_standalone_permission,
+    add_standalone_role,
+    add_standalone_user,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2", "u3"],
+        roles=["r1"],
+        permissions=["p1", "p2"],
+        user_assignments=[("r1", "u1"), ("r1", "u2")],
+        permission_assignments=[("r1", "p1"), ("r1", "p2")],
+    )
+
+
+class TestStandalonePlanting:
+    def test_explicit_id(self, state):
+        assert add_standalone_user(state, "ghost") == "ghost"
+        assert state.has_user("ghost")
+        assert state.roles_of_user("ghost") == frozenset()
+
+    def test_generated_ids_unique(self, state):
+        first = add_standalone_user(state)
+        second = add_standalone_user(state)
+        assert first != second
+
+    def test_all_three_kinds(self, state):
+        planted = {
+            add_standalone_user(state),
+            add_standalone_permission(state),
+            add_standalone_role(state),
+        }
+        findings = analyze(state).of_type(InefficiencyType.STANDALONE_NODE)
+        detected = {f.entity_ids[0] for f in findings}
+        assert planted <= detected
+        # u3 is unassigned in the fixture, so it is detected as well.
+        assert detected == planted | {"u3"}
+
+
+class TestSingleAssignment:
+    def test_role_with_one_user(self, state):
+        role_id = add_single_assignment_role(
+            state, "u3", permission_ids=("p1",)
+        )
+        assert state.users_of_role(role_id) == {"u3"}
+        counts = analyze(state).counts()
+        assert counts["single_user_roles"] == 1
+        assert counts["roles_without_permissions"] == 0
+
+
+class TestTwins:
+    def test_twin_copies_both_sides(self, state):
+        twin = add_role_twin(state, "r1")
+        assert state.users_of_role(twin) == state.users_of_role("r1")
+        assert state.permissions_of_role(twin) == state.permissions_of_role(
+            "r1"
+        )
+
+    def test_twin_detected_as_duplicate(self, state):
+        add_role_twin(state, "r1")
+        counts = analyze(state).counts()
+        assert counts["roles_same_users"] == 2
+        assert counts["roles_same_permissions"] == 2
+
+
+class TestSimilar:
+    def test_requires_exactly_one_axis(self, state):
+        with pytest.raises(ConfigurationError):
+            add_similar_role(state, "r1")
+        with pytest.raises(ConfigurationError):
+            add_similar_role(
+                state, "r1", extra_user_ids=("u3",),
+                extra_permission_ids=("p1",),
+            )
+
+    def test_similar_on_users(self, state):
+        similar = add_similar_role(state, "r1", extra_user_ids=("u3",))
+        assert state.users_of_role(similar) == {"u1", "u2", "u3"}
+        counts = analyze(state).counts()
+        assert counts["roles_similar_users"] == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the departmental organisation generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.datagen import DepartmentProfile, generate_departmental_org
+from repro.exceptions import ConfigurationError
+
+
+class TestProfileValidation:
+    def test_needs_users(self):
+        with pytest.raises(ConfigurationError):
+            DepartmentProfile(n_departments=10, n_users=5)
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            DepartmentProfile(duplication_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            DepartmentProfile(stale_user_rate=1.0)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def state(self):
+        return generate_departmental_org(DepartmentProfile(seed=4))
+
+    def test_sizes_plausible(self, state):
+        profile = DepartmentProfile()
+        assert state.n_users == profile.n_users
+        assert state.n_roles > profile.n_departments  # at least 1 per dept
+        assert state.n_permissions > 20  # shared namespace at minimum
+
+    def test_departments_annotated(self, state):
+        departments = {
+            state.get_user(u).attributes.get("department")
+            for u in state.user_ids()
+            if not state.get_user(u).attributes.get("stale")
+        }
+        assert len(departments) == DepartmentProfile().n_departments
+
+    def test_baseline_roles_cover_active_users(self, state):
+        users = state.users_of_role("role-baseline-00")
+        stale = sum(
+            1
+            for u in state.user_ids()
+            if state.get_user(u).attributes.get("stale")
+        )
+        assert len(users) == state.n_users - stale
+
+    def test_deterministic(self):
+        profile = DepartmentProfile(seed=5)
+        assert (
+            generate_departmental_org(profile)
+            == generate_departmental_org(profile)
+        )
+
+    def test_drift_produces_inefficiencies(self, state):
+        """The generator's whole point: organic duplication shows up in
+        the analysis without being planted count-exactly."""
+        counts = analyze(state).counts()
+        assert counts["roles_same_permissions"] > 0
+        assert counts["standalone_users"] > 0
+        assert counts["standalone_permissions"] > 0
+
+    def test_copy_of_attribute_points_at_real_role(self, state):
+        copies = [
+            role_id
+            for role_id in state.role_ids()
+            if "copy_of" in state.get_role(role_id).attributes
+        ]
+        assert copies
+        for role_id in copies:
+            original = state.get_role(role_id).attributes["copy_of"]
+            assert state.has_role(original)
+            # drifted copy shares the original's user set
+            assert state.users_of_role(role_id) == state.users_of_role(
+                original
+            )

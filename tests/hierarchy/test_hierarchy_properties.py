@@ -1,0 +1,125 @@
+"""Property-based tests for role hierarchies."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import RbacState
+from repro.exceptions import ValidationError
+from repro.hierarchy import RoleHierarchy, find_redundant_edges, flatten
+
+ROLES = [f"r{i}" for i in range(8)]
+USERS = [f"u{i}" for i in range(6)]
+PERMISSIONS = [f"p{i}" for i in range(6)]
+
+
+@st.composite
+def hierarchies(draw) -> RoleHierarchy:
+    """Random DAGs built by only allowing edges high → low index."""
+    hierarchy = RoleHierarchy()
+    n_edges = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_edges):
+        senior = draw(st.integers(min_value=1, max_value=len(ROLES) - 1))
+        junior = draw(st.integers(min_value=0, max_value=senior - 1))
+        hierarchy.add_inheritance(ROLES[senior], ROLES[junior])
+    return hierarchy
+
+
+@st.composite
+def states(draw) -> RbacState:
+    state = RbacState.build(
+        users=USERS, roles=ROLES, permissions=PERMISSIONS
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=15))):
+        state.assign_user(
+            draw(st.sampled_from(ROLES)), draw(st.sampled_from(USERS))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=15))):
+        state.assign_permission(
+            draw(st.sampled_from(ROLES)), draw(st.sampled_from(PERMISSIONS))
+        )
+    return state
+
+
+class TestClosureProperties:
+    @given(hierarchies())
+    @settings(max_examples=60, deadline=None)
+    def test_closures_are_consistent(self, hierarchy):
+        for role in ROLES:
+            for junior in hierarchy.all_juniors(role):
+                assert role in hierarchy.all_seniors(junior)
+                assert hierarchy.inherits(role, junior)
+
+    @given(hierarchies())
+    @settings(max_examples=60, deadline=None)
+    def test_acyclic_by_construction(self, hierarchy):
+        for role in ROLES:
+            assert role not in hierarchy.all_juniors(role)
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_back_edge_always_rejected(self, hierarchy, data):
+        edges = list(hierarchy.edges())
+        assume(edges)
+        senior, junior = data.draw(st.sampled_from(edges))
+        with pytest_raises_validation():
+            hierarchy.add_inheritance(junior, senior)
+
+
+class TestFlattenProperties:
+    @given(states(), hierarchies())
+    @settings(max_examples=50, deadline=None)
+    def test_flatten_matches_manual_closure(self, state, hierarchy):
+        flat = flatten(state, hierarchy)
+        for role in ROLES:
+            expected_perms = set(state.permissions_of_role(role))
+            for junior in hierarchy.all_juniors(role):
+                expected_perms.update(state.permissions_of_role(junior))
+            assert flat.permissions_of_role(role) == expected_perms
+            expected_users = set(state.users_of_role(role))
+            for senior in hierarchy.all_seniors(role):
+                expected_users.update(state.users_of_role(senior))
+            assert flat.users_of_role(role) == expected_users
+
+    @given(states(), hierarchies())
+    @settings(max_examples=30, deadline=None)
+    def test_flatten_is_idempotent(self, state, hierarchy):
+        once = flatten(state, hierarchy)
+        twice = flatten(once, hierarchy)
+        assert once == twice
+
+    @given(states(), hierarchies())
+    @settings(max_examples=30, deadline=None)
+    def test_flatten_only_adds_access(self, state, hierarchy):
+        flat = flatten(state, hierarchy)
+        for user in USERS:
+            assert state.effective_permissions(
+                user
+            ) <= flat.effective_permissions(user)
+
+    @given(states(), hierarchies())
+    @settings(max_examples=30, deadline=None)
+    def test_redundant_edge_removal_preserves_flattening(
+        self, state, hierarchy
+    ):
+        """Dropping a redundant edge never changes effective access —
+        the justification for flagging it."""
+        findings = find_redundant_edges(hierarchy)
+        baseline = flatten(state, hierarchy)
+        for finding in findings:
+            hierarchy.remove_inheritance(finding.senior, finding.junior)
+        assert flatten(state, hierarchy) == baseline
+
+
+class pytest_raises_validation:
+    """Tiny context manager to avoid importing pytest into strategies."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        assert exc_type is not None and issubclass(
+            exc_type, ValidationError
+        ), "expected ValidationError"
+        return True

@@ -1,0 +1,109 @@
+"""Unit tests for hierarchy-specific inefficiency detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import RbacState
+from repro.hierarchy import (
+    RoleHierarchy,
+    analyze_hierarchy,
+    find_redundant_edges,
+    find_void_edges,
+)
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["u"],
+        roles=["a", "b", "c", "d"],
+        permissions=["p1", "p2", "p3"],
+        user_assignments=[("a", "u")],
+        permission_assignments=[
+            ("a", "p1"),
+            ("b", "p2"),
+            ("c", "p3"),
+            # d has no permissions of its own
+        ],
+    )
+
+
+class TestRedundantEdges:
+    def test_transitive_edge_flagged(self):
+        hierarchy = RoleHierarchy(
+            [("a", "b"), ("b", "c"), ("a", "c")]  # a->c implied via b
+        )
+        findings = find_redundant_edges(hierarchy)
+        assert [(f.senior, f.junior) for f in findings] == [("a", "c")]
+        assert "implied through 'b'" in findings[0].message
+
+    def test_reduced_dag_has_no_findings(self):
+        hierarchy = RoleHierarchy([("a", "b"), ("b", "c")])
+        assert find_redundant_edges(hierarchy) == []
+
+    def test_diamond_is_not_redundant(self):
+        # a->b, a->c, b->d, c->d: every edge is in the reduction.
+        hierarchy = RoleHierarchy(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert find_redundant_edges(hierarchy) == []
+
+    def test_longer_chains_detected(self):
+        hierarchy = RoleHierarchy(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]
+        )
+        findings = find_redundant_edges(hierarchy)
+        assert [(f.senior, f.junior) for f in findings] == [("a", "d")]
+
+
+class TestVoidEdges:
+    def test_edge_to_permissionless_role_is_void(self, state):
+        hierarchy = RoleHierarchy([("a", "d")])  # d grants nothing
+        findings = find_void_edges(state, hierarchy)
+        assert [(f.senior, f.junior) for f in findings] == [("a", "d")]
+
+    def test_edge_adding_new_permission_not_void(self, state):
+        hierarchy = RoleHierarchy([("a", "b")])
+        assert find_void_edges(state, hierarchy) == []
+
+    def test_edge_duplicating_own_grant_is_void(self):
+        state = RbacState.build(
+            roles=["senior", "junior"],
+            permissions=["p"],
+            permission_assignments=[("senior", "p"), ("junior", "p")],
+        )
+        hierarchy = RoleHierarchy([("senior", "junior")])
+        findings = find_void_edges(state, hierarchy)
+        assert [(f.senior, f.junior) for f in findings] == [
+            ("senior", "junior")
+        ]
+
+    def test_edge_covered_by_sibling_subtree_is_void(self, state):
+        # a->b and a->c both reach p2 if c also grants p2.
+        state.assign_permission("c", "p2")
+        hierarchy = RoleHierarchy([("a", "b"), ("a", "c")])
+        findings = find_void_edges(state, hierarchy)
+        assert [(f.senior, f.junior) for f in findings] == [("a", "b")]
+
+
+class TestAnalyzeHierarchy:
+    def test_redundant_reported_once(self, state):
+        # a->c is redundant (via b) and also void; report only redundant.
+        hierarchy = RoleHierarchy([("a", "b"), ("b", "c"), ("a", "c")])
+        findings = analyze_hierarchy(state, hierarchy)
+        kinds = [(f.kind, f.senior, f.junior) for f in findings]
+        assert ("redundant_edge", "a", "c") in kinds
+        assert ("void_edge", "a", "c") not in kinds
+
+    def test_clean_hierarchy_no_findings(self, state):
+        hierarchy = RoleHierarchy([("a", "b"), ("b", "c")])
+        assert analyze_hierarchy(state, hierarchy) == []
+
+    def test_findings_serialisable(self, state):
+        import json
+
+        hierarchy = RoleHierarchy([("a", "d")])
+        payload = [f.to_dict() for f in analyze_hierarchy(state, hierarchy)]
+        json.dumps(payload)
+        assert payload[0]["kind"] == "void_edge"

@@ -1,0 +1,196 @@
+"""Unit tests for the role-hierarchy model and flattening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.exceptions import UnknownEntityError, ValidationError
+from repro.hierarchy import RoleHierarchy, flatten
+
+
+@pytest.fixture
+def org() -> RbacState:
+    """engineer < senior-engineer < principal, plus an unrelated auditor."""
+    return RbacState.build(
+        users=["eve", "sam", "pat", "quinn"],
+        roles=["engineer", "senior-engineer", "principal", "auditor"],
+        permissions=["code:read", "code:write", "deploy", "audit:read"],
+        user_assignments=[
+            ("engineer", "eve"),
+            ("senior-engineer", "sam"),
+            ("principal", "pat"),
+            ("auditor", "quinn"),
+        ],
+        permission_assignments=[
+            ("engineer", "code:read"),
+            ("senior-engineer", "code:write"),
+            ("principal", "deploy"),
+            ("auditor", "audit:read"),
+        ],
+    )
+
+
+@pytest.fixture
+def chain() -> RoleHierarchy:
+    return RoleHierarchy(
+        [
+            ("senior-engineer", "engineer"),
+            ("principal", "senior-engineer"),
+        ]
+    )
+
+
+class TestHierarchyStructure:
+    def test_edges_deterministic(self, chain):
+        assert list(chain.edges()) == [
+            ("principal", "senior-engineer"),
+            ("senior-engineer", "engineer"),
+        ]
+        assert chain.n_edges == 2
+
+    def test_direct_vs_transitive(self, chain):
+        assert chain.direct_juniors("principal") == {"senior-engineer"}
+        assert chain.all_juniors("principal") == {
+            "senior-engineer", "engineer",
+        }
+        assert chain.all_seniors("engineer") == {
+            "senior-engineer", "principal",
+        }
+
+    def test_inherits_is_reflexive_transitive(self, chain):
+        assert chain.inherits("principal", "principal")
+        assert chain.inherits("principal", "engineer")
+        assert not chain.inherits("engineer", "principal")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError, match="cannot inherit itself"):
+            RoleHierarchy([("a", "a")])
+
+    def test_cycle_rejected(self):
+        hierarchy = RoleHierarchy([("a", "b"), ("b", "c")])
+        with pytest.raises(ValidationError, match="cycle"):
+            hierarchy.add_inheritance("c", "a")
+
+    def test_remove_edge(self, chain):
+        chain.remove_inheritance("principal", "senior-engineer")
+        assert chain.all_juniors("principal") == frozenset()
+        chain.remove_inheritance("never", "existed")  # no-op
+
+    def test_to_networkx_is_dag(self, chain):
+        import networkx as nx
+
+        graph = chain.to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_edges() == 2
+
+
+class TestFlatten:
+    def test_permissions_flow_up(self, org, chain):
+        flat = flatten(org, chain)
+        assert flat.permissions_of_role("principal") == {
+            "code:read", "code:write", "deploy",
+        }
+        assert flat.permissions_of_role("senior-engineer") == {
+            "code:read", "code:write",
+        }
+        assert flat.permissions_of_role("engineer") == {"code:read"}
+
+    def test_users_flow_down(self, org, chain):
+        flat = flatten(org, chain)
+        assert flat.users_of_role("engineer") == {"eve", "sam", "pat"}
+        assert flat.users_of_role("senior-engineer") == {"sam", "pat"}
+        assert flat.users_of_role("principal") == {"pat"}
+
+    def test_effective_permissions_match_rbac1(self, org, chain):
+        flat = flatten(org, chain)
+        assert flat.effective_permissions("pat") == {
+            "code:read", "code:write", "deploy",
+        }
+        assert flat.effective_permissions("sam") == {
+            "code:read", "code:write",
+        }
+        assert flat.effective_permissions("eve") == {"code:read"}
+        assert flat.effective_permissions("quinn") == {"audit:read"}
+
+    def test_original_untouched(self, org, chain):
+        snapshot = org.copy()
+        flatten(org, chain)
+        assert org == snapshot
+
+    def test_unknown_role_rejected(self, org):
+        with pytest.raises(UnknownEntityError):
+            flatten(org, RoleHierarchy([("ghost", "engineer")]))
+
+    def test_empty_hierarchy_is_identity(self, org):
+        assert flatten(org, RoleHierarchy()) == org
+
+
+class TestDetectionThroughHierarchy:
+    def test_hidden_duplicates_surface_after_flattening(self):
+        """Two roles with different direct grants but identical effective
+        access — invisible flat, found after flattening."""
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["base", "variant-a", "variant-b"],
+            permissions=["p1", "p2"],
+            user_assignments=[
+                ("variant-a", "u1"), ("variant-a", "u2"),
+                ("variant-b", "u1"), ("variant-b", "u2"),
+            ],
+            permission_assignments=[
+                ("base", "p1"),
+                ("variant-a", "p2"),
+                ("variant-b", "p1"), ("variant-b", "p2"),
+            ],
+        )
+        hierarchy = RoleHierarchy([("variant-a", "base")])
+
+        flat_counts = analyze(state).counts()
+        assert flat_counts["roles_same_permissions"] == 0  # hidden
+
+        flattened_counts = analyze(flatten(state, hierarchy)).counts()
+        assert flattened_counts["roles_same_permissions"] == 2  # surfaced
+
+
+class TestHierarchyJsonIO:
+    def test_round_trip(self, chain, tmp_path):
+        from repro.hierarchy import load_hierarchy_json, save_hierarchy_json
+
+        path = tmp_path / "hierarchy.json"
+        save_hierarchy_json(chain, path)
+        restored = load_hierarchy_json(path)
+        assert list(restored.edges()) == list(chain.edges())
+
+    def test_bad_format_rejected(self, tmp_path):
+        from repro.exceptions import DataFormatError
+        from repro.hierarchy import load_hierarchy_json
+
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(DataFormatError, match="repro-hierarchy"):
+            load_hierarchy_json(path)
+
+    def test_cyclic_document_rejected(self, tmp_path):
+        import json
+
+        from repro.exceptions import DataFormatError
+        from repro.hierarchy import load_hierarchy_json
+
+        path = tmp_path / "cyclic.json"
+        path.write_text(json.dumps({
+            "format": "repro-hierarchy", "version": 1,
+            "edges": [["a", "b"], ["b", "a"]],
+        }))
+        with pytest.raises(DataFormatError, match="invalid hierarchy"):
+            load_hierarchy_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        from repro.exceptions import DataFormatError
+        from repro.hierarchy import load_hierarchy_json
+
+        path = tmp_path / "x.json"
+        path.write_text("{nope")
+        with pytest.raises(DataFormatError, match="invalid JSON"):
+            load_hierarchy_json(path)

@@ -1,0 +1,122 @@
+"""Integration tests: the full pipeline across subsystem boundaries.
+
+generate → save → load → analyse → plan → apply → re-analyse, exercising
+datagen, io, core, and remediation together, with all three group-finding
+methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze
+from repro.datagen import (
+    DepartmentProfile,
+    OrgProfile,
+    generate_departmental_org,
+    generate_org,
+)
+from repro.io import load_json, save_json
+from repro.remediation import apply_plan, build_plan, measure_reduction
+
+
+class TestPlantedOrgPipeline:
+    @pytest.fixture(scope="class")
+    def org(self):
+        return generate_org(OrgProfile.small(divisor=100, seed=3))
+
+    def test_save_load_analyze(self, org, tmp_path_factory):
+        path = tmp_path_factory.mktemp("data") / "org.json"
+        save_json(org.state, path)
+        restored = load_json(path)
+        assert analyze(restored).counts() == org.expected_counts()
+
+    @pytest.mark.parametrize("finder", ["cooccurrence", "dbscan"])
+    def test_exact_methods_agree_on_planted_org(self, org, finder):
+        report = analyze(org.state, AnalysisConfig(finder=finder))
+        assert report.counts() == org.expected_counts()
+
+    def test_hnsw_is_sound_but_incomplete_on_planted_org(self, org):
+        """The approximate method never invents groups, but on the
+        planted org its recall collapses: role vectors here are tiny
+        disjoint sets, so almost all pairwise Manhattan distances tie at
+        |A|+|B| and HNSW's greedy routing has no gradient to follow —
+        the known failure regime of proximity-graph ANN (and the reason
+        the paper's custom exact algorithm is the right default)."""
+        report = analyze(org.state, AnalysisConfig(finder="hnsw"))
+        counts = report.counts()
+        expected = org.expected_counts()
+        for key in ("roles_same_users", "roles_same_permissions"):
+            assert counts[key] <= expected[key]  # sound: no false groups
+        # linear-scan detectors are unaffected by the finder choice
+        assert counts["standalone_users"] == expected["standalone_users"]
+        assert (
+            counts["single_user_roles"] == expected["single_user_roles"]
+        )
+
+    def test_hnsw_groups_are_true_groups(self, org):
+        """Every group the approximate finder does report is correct:
+        soundness holds even where recall does not."""
+        import numpy as np
+
+        from repro.core.grouping import make_group_finder
+        from repro.core.matrices import AssignmentMatrix
+
+        ruam = AssignmentMatrix.ruam(org.state)
+        keep = np.flatnonzero(ruam.row_sums > 0)
+        submatrix = ruam.dense[keep]
+        for group in make_group_finder("hnsw").find_groups(submatrix, 0):
+            first = submatrix[group[0]]
+            for member in group[1:]:
+                assert np.array_equal(first, submatrix[member])
+
+    def test_consolidation_after_cleanup(self, org):
+        report = analyze(org.state)
+        plan = build_plan(report)
+        cleaned = apply_plan(org.state, plan)
+        metrics = measure_reduction(org.state, cleaned)
+        # 120 no-user + 10 no-perm + 40 same-user-merge + 10 same-perm-merge
+        assert metrics.roles_removed == 180
+        counts = analyze(cleaned).counts()
+        assert counts["roles_same_users"] == 0
+        assert counts["roles_same_permissions"] == 0
+        assert counts["roles_without_users"] == 0
+        assert counts["roles_without_permissions"] == 0
+
+    def test_repeated_cleanup_reaches_fixed_point(self, org):
+        current = org.state
+        for _ in range(8):
+            plan = build_plan(analyze(current))
+            if not plan.actions:
+                break
+            current = apply_plan(current, plan)
+        final_plan = build_plan(analyze(current))
+        assert final_plan.actions == []
+
+
+class TestDepartmentalPipeline:
+    def test_drifted_duplicates_found_and_merged(self):
+        state = generate_departmental_org(DepartmentProfile(seed=4))
+        report = analyze(state)
+        assert report.counts()["roles_same_permissions"] > 0
+        plan = build_plan(report)
+        cleaned = apply_plan(state, plan)
+        metrics = measure_reduction(state, cleaned)
+        assert metrics.roles_removed > 0
+        # all users keep their effective access (spot check a sample)
+        for user_id in list(cleaned.user_ids())[:50]:
+            assert cleaned.effective_permissions(
+                user_id
+            ) == state.effective_permissions(user_id)
+
+
+class TestAnonymizedSharing:
+    def test_anonymized_export_detects_identically(self, tmp_path):
+        from repro.io import anonymize
+
+        org = generate_org(OrgProfile.small(divisor=200, seed=11))
+        anonymised = anonymize(org.state, key="org-secret")
+        path = tmp_path / "shared.json"
+        save_json(anonymised, path)
+        shared = load_json(path)
+        assert analyze(shared).counts() == org.expected_counts()

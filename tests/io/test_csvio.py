@@ -1,0 +1,112 @@
+"""Unit tests for CSV import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import RbacState
+from repro.exceptions import DataFormatError
+from repro.io import load_csv, save_csv
+from repro.io.csvio import ENTITIES_FILE, PERMISSION_EDGES_FILE, USER_EDGES_FILE
+
+
+class TestRoundTrip:
+    def test_paper_example(self, paper_example, tmp_path):
+        save_csv(paper_example, tmp_path / "export")
+        restored = load_csv(tmp_path / "export")
+        assert restored == paper_example
+
+    def test_standalone_nodes_survive_via_entities_file(self, tmp_path):
+        state = RbacState.build(
+            users=["ghost"], roles=["empty"], permissions=["unused"]
+        )
+        save_csv(state, tmp_path)
+        restored = load_csv(tmp_path)
+        assert restored.has_user("ghost")
+        assert restored.has_role("empty")
+        assert restored.has_permission("unused")
+
+    def test_names_preserved(self, tmp_path):
+        from repro.core.entities import User
+
+        state = RbacState()
+        state.add_user(User("u1", name="Alice"))
+        save_csv(state, tmp_path)
+        assert load_csv(tmp_path).get_user("u1").name == "Alice"
+
+
+class TestEdgeOnlyImports:
+    def test_two_file_import_creates_entities_implicitly(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text(
+            "role_id,user_id\nr1,u1\nr1,u2\n"
+        )
+        (tmp_path / PERMISSION_EDGES_FILE).write_text(
+            "role_id,permission_id\nr1,p1\n"
+        )
+        state = load_csv(tmp_path)
+        assert state.n_users == 2
+        assert state.n_roles == 1
+        assert state.users_of_role("r1") == {"u1", "u2"}
+
+    def test_single_file_import(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text("role_id,user_id\nr1,u1\n")
+        state = load_csv(tmp_path)
+        assert state.n_permissions == 0
+        assert state.n_roles == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text(
+            "role_id,user_id\nr1,u1\n\nr1,u2\n"
+        )
+        assert load_csv(tmp_path).users_of_role("r1") == {"u1", "u2"}
+
+
+class TestErrors:
+    def test_missing_directory_contents(self, tmp_path):
+        with pytest.raises(DataFormatError, match="neither"):
+            load_csv(tmp_path)
+
+    def test_wrong_column_count(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text(
+            "role_id,user_id\nr1,u1,extra\n"
+        )
+        with pytest.raises(DataFormatError, match="expected 2 columns"):
+            load_csv(tmp_path)
+
+    def test_bad_header(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text("only_one_column\n")
+        with pytest.raises(DataFormatError, match="header"):
+            load_csv(tmp_path)
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text("")
+        with pytest.raises(DataFormatError, match="empty"):
+            load_csv(tmp_path)
+
+    def test_unknown_entity_kind(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text("role_id,user_id\n")
+        (tmp_path / ENTITIES_FILE).write_text("kind,id,name\nrobot,x,\n")
+        with pytest.raises(DataFormatError, match="unknown kind"):
+            load_csv(tmp_path)
+
+
+class TestOddIdentifiers:
+    def test_commas_and_quotes_round_trip(self, tmp_path):
+        state = RbacState.build(
+            users=['u,with,commas', 'u "quoted"'],
+            roles=["r;1"],
+            permissions=["p\nnewline"],
+            user_assignments=[
+                ("r;1", "u,with,commas"), ("r;1", 'u "quoted"'),
+            ],
+            permission_assignments=[("r;1", "p\nnewline")],
+        )
+        save_csv(state, tmp_path)
+        assert load_csv(tmp_path) == state
+
+    def test_duplicate_edges_in_file_are_idempotent(self, tmp_path):
+        (tmp_path / USER_EDGES_FILE).write_text(
+            "role_id,user_id\nr1,u1\nr1,u1\nr1,u1\n"
+        )
+        state = load_csv(tmp_path)
+        assert state.n_user_assignments == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the Graphviz DOT export."""
+
+from __future__ import annotations
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.io import state_to_dot
+
+
+class TestStructure:
+    def test_all_nodes_present(self, paper_example):
+        dot = state_to_dot(paper_example)
+        for user_id in paper_example.user_ids():
+            assert f'"user:{user_id}"' in dot
+        for role_id in paper_example.role_ids():
+            assert f'"role:{role_id}"' in dot
+        for permission_id in paper_example.permission_ids():
+            assert f'"permission:{permission_id}"' in dot
+
+    def test_edge_count(self, paper_example):
+        dot = state_to_dot(paper_example)
+        edge_lines = [l for l in dot.splitlines() if " -- " in l]
+        assert len(edge_lines) == (
+            paper_example.n_user_assignments
+            + paper_example.n_permission_assignments
+        )
+
+    def test_three_rank_clusters(self, paper_example):
+        dot = state_to_dot(paper_example)
+        assert "cluster_users" in dot
+        assert "cluster_roles" in dot
+        assert "cluster_permissions" in dot
+
+    def test_empty_state(self):
+        dot = state_to_dot(RbacState())
+        assert dot.startswith('graph "rbac" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_identifiers_are_escaped(self):
+        state = RbacState.build(users=['we"ird'], roles=["r"], permissions=[])
+        state.assign_user("r", 'we"ird')
+        dot = state_to_dot(state)
+        assert '\\"' in dot
+
+    def test_graph_name(self, paper_example):
+        assert state_to_dot(paper_example, graph_name="fig1").startswith(
+            'graph "fig1" {'
+        )
+
+
+class TestHighlighting:
+    def test_standalone_node_highlighted(self, paper_example):
+        report = analyze(paper_example)
+        dot = state_to_dot(paper_example, report)
+        p01_line = next(
+            l for l in dot.splitlines() if '"permission:P01"' in l and "[" in l
+        )
+        assert "#f4cccc" in p01_line  # standalone colour
+
+    def test_disconnected_roles_highlighted(self, paper_example):
+        report = analyze(paper_example)
+        dot = state_to_dot(paper_example, report)
+        for role_id in ("R02", "R03"):
+            line = next(
+                l
+                for l in dot.splitlines()
+                if f'"role:{role_id}"' in l and "[" in l
+            )
+            # R02 is also in a duplicate group; duplicate < disconnected
+            assert "#f9cb9c" in line
+
+    def test_duplicate_groups_tagged(self, paper_example):
+        report = analyze(paper_example)
+        dot = state_to_dot(paper_example, report)
+        r05_line = next(
+            l for l in dot.splitlines() if '"role:R05"' in l and "[" in l
+        )
+        assert "dup-p" in r05_line
+
+    def test_no_report_no_highlight(self, paper_example):
+        dot = state_to_dot(paper_example)
+        assert "#f4cccc" not in dot

@@ -1,0 +1,117 @@
+"""Unit tests for JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.state import RbacState
+from repro.exceptions import DataFormatError
+from repro.io import dumps_json, load_json, loads_json, save_json
+from repro.io.jsonio import FORMAT_NAME, state_to_dict
+
+
+class TestRoundTrip:
+    def test_paper_example_round_trips(self, paper_example, tmp_path):
+        path = tmp_path / "state.json"
+        save_json(paper_example, path)
+        assert load_json(path) == paper_example
+
+    def test_string_round_trip(self, paper_example):
+        assert loads_json(dumps_json(paper_example)) == paper_example
+
+    def test_attributes_preserved(self):
+        state = RbacState()
+        state.add_user(User("u1", name="Alice", attributes={"dept": "sec"}))
+        state.add_role(Role("r1", name="Auditor"))
+        restored = loads_json(dumps_json(state))
+        assert restored.get_user("u1").name == "Alice"
+        assert restored.get_user("u1").attributes["dept"] == "sec"
+        assert restored.get_role("r1").name == "Auditor"
+
+    def test_standalone_nodes_survive(self):
+        state = RbacState.build(users=["ghost"], roles=[], permissions=["p"])
+        restored = loads_json(dumps_json(state))
+        assert restored.has_user("ghost")
+        assert restored.has_permission("p")
+
+    def test_empty_state(self):
+        assert loads_json(dumps_json(RbacState())) == RbacState()
+
+    def test_indent_option(self, paper_example):
+        assert "\n" in dumps_json(paper_example, indent=2)
+
+
+class TestDocumentShape:
+    def test_marker_and_version(self, paper_example):
+        document = state_to_dict(paper_example)
+        assert document["format"] == FORMAT_NAME
+        assert document["version"] == 1
+
+    def test_empty_fields_omitted(self):
+        state = RbacState.build(users=["u1"])
+        document = state_to_dict(state)
+        assert document["users"] == [{"id": "u1"}]
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(DataFormatError, match="invalid JSON"):
+            loads_json("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(DataFormatError, match="format marker"):
+            loads_json(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version(self):
+        with pytest.raises(DataFormatError, match="version"):
+            loads_json(json.dumps({"format": FORMAT_NAME, "version": 99}))
+
+    def test_top_level_not_object(self):
+        with pytest.raises(DataFormatError):
+            loads_json("[1, 2, 3]")
+
+    def test_edge_to_unknown_entity(self):
+        document = {
+            "format": FORMAT_NAME,
+            "version": 1,
+            "users": [],
+            "roles": [{"id": "r1"}],
+            "permissions": [],
+            "user_assignments": [["r1", "missing"]],
+            "permission_assignments": [],
+        }
+        with pytest.raises(DataFormatError, match="inconsistent"):
+            loads_json(json.dumps(document))
+
+    def test_malformed_entity(self):
+        document = {
+            "format": FORMAT_NAME,
+            "version": 1,
+            "users": [{"name": "no id"}],
+        }
+        with pytest.raises(DataFormatError, match="malformed"):
+            loads_json(json.dumps(document))
+
+
+class TestUnicodeAndOddIdentifiers:
+    def test_unicode_ids_round_trip(self):
+        state = RbacState.build(
+            users=["Ångström", "测试用户"],
+            roles=["rôle-β"],
+            permissions=["перм#1"],
+            user_assignments=[("rôle-β", "Ångström")],
+            permission_assignments=[("rôle-β", "перм#1")],
+        )
+        assert loads_json(dumps_json(state)) == state
+
+    def test_ids_with_json_specials(self):
+        state = RbacState.build(
+            users=['he said "hi"', "tab\there"],
+            roles=["r,1"],
+            permissions=[],
+            user_assignments=[("r,1", 'he said "hi"')],
+        )
+        assert loads_json(dumps_json(state)) == state

@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for the I/O formats."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.io import anonymize, dumps_json, loads_json
+
+identifier = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "-_",
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def rbac_states(draw) -> RbacState:
+    users = draw(
+        st.lists(identifier, min_size=0, max_size=8, unique=True)
+    )
+    roles = draw(
+        st.lists(identifier, min_size=0, max_size=6, unique=True)
+    )
+    permissions = draw(
+        st.lists(identifier, min_size=0, max_size=8, unique=True)
+    )
+    state = RbacState.build(
+        users=users, roles=roles, permissions=permissions
+    )
+    if roles and users:
+        for _ in range(draw(st.integers(min_value=0, max_value=12))):
+            role = draw(st.sampled_from(roles))
+            user = draw(st.sampled_from(users))
+            state.assign_user(role, user)
+    if roles and permissions:
+        for _ in range(draw(st.integers(min_value=0, max_value=12))):
+            role = draw(st.sampled_from(roles))
+            permission = draw(st.sampled_from(permissions))
+            state.assign_permission(role, permission)
+    return state
+
+
+class TestJsonRoundTrip:
+    @given(rbac_states())
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, state):
+        assert loads_json(dumps_json(state)) == state
+
+    @given(rbac_states())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_stable(self, state):
+        once = dumps_json(state)
+        twice = dumps_json(loads_json(once))
+        assert once == twice
+
+
+class TestAnonymizeProperties:
+    @given(rbac_states())
+    @settings(max_examples=30, deadline=None)
+    def test_analysis_counts_invariant(self, state):
+        assert analyze(state).counts() == analyze(anonymize(state)).counts()
+
+    @given(rbac_states())
+    @settings(max_examples=30, deadline=None)
+    def test_effective_permission_multiset_preserved(self, state):
+        """The multiset of per-user effective-permission-set sizes is a
+        structural invariant of pseudonymisation."""
+        original = sorted(
+            len(perms) for perms in state.effective_permission_map().values()
+        )
+        anonymised = sorted(
+            len(perms)
+            for perms in anonymize(state).effective_permission_map().values()
+        )
+        assert original == anonymised

@@ -1,0 +1,136 @@
+"""Unit tests for the LSH index and the ``lsh`` group finder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import make_group_finder
+from repro.exceptions import ConfigurationError
+from repro.lsh import LshGroupFinder, LshIndex, minhash_signatures
+
+
+def data_with_duplicates(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    data = rng.random((60, 80)) < 0.1
+    data[10] = data[40]
+    data[11] = data[40]
+    data[25] = data[55]
+    return data
+
+
+class TestIndex:
+    def test_bands_must_divide_signature(self):
+        signatures = minhash_signatures(
+            data_with_duplicates(), n_hashes=64
+        )
+        with pytest.raises(ConfigurationError, match="divide"):
+            LshIndex(signatures, n_bands=7)
+
+    def test_identical_rows_always_candidates(self):
+        data = data_with_duplicates()
+        index = LshIndex(minhash_signatures(data))
+        pairs = set(index.candidate_pairs())
+        assert (10, 11) in pairs
+        assert (10, 40) in pairs
+        assert (25, 55) in pairs
+
+    def test_pairs_unique_and_ordered(self):
+        index = LshIndex(minhash_signatures(data_with_duplicates()))
+        pairs = list(index.candidate_pairs())
+        assert len(pairs) == len(set(pairs))
+        assert all(i < j for i, j in pairs)
+
+    def test_candidates_of_row(self):
+        data = data_with_duplicates()
+        index = LshIndex(minhash_signatures(data))
+        assert 11 in index.candidates_of(10)
+        assert 40 in index.candidates_of(10)
+        assert 10 not in index.candidates_of(10)
+
+    def test_candidates_of_bounds(self):
+        index = LshIndex(minhash_signatures(data_with_duplicates()))
+        with pytest.raises(ConfigurationError):
+            index.candidates_of(999)
+
+    def test_rejects_1d_signatures(self):
+        with pytest.raises(ConfigurationError):
+            LshIndex(np.zeros(8, dtype=np.uint64))
+
+
+class TestFinder:
+    def test_registered(self):
+        assert isinstance(make_group_finder("lsh"), LshGroupFinder)
+
+    def test_exact_duplicates_complete(self):
+        """k=0 recall is 1: identical rows always collide."""
+        data = data_with_duplicates()
+        exact = make_group_finder("cooccurrence").find_groups(data, 0)
+        assert make_group_finder("lsh").find_groups(data, 0) == exact
+
+    def test_exact_on_generated_workload(self):
+        from repro.datagen import MatrixSpec, generate_matrix
+
+        generated = generate_matrix(
+            MatrixSpec(n_roles=300, n_cols=250, row_density=0.04, seed=9)
+        )
+        assert (
+            make_group_finder("lsh").find_groups(generated.matrix, 0)
+            == generated.groups
+        )
+
+    def test_similarity_sound(self):
+        """Every k>=1 group member is genuinely within k of another."""
+        rng = np.random.default_rng(11)
+        data = rng.random((80, 100)) < 0.08
+        data[5] = data[30]
+        data[5, 0] = ~data[5, 0]
+        groups = make_group_finder("lsh").find_groups(data, 2)
+        for group in groups:
+            for member in group:
+                distances = [
+                    int(np.count_nonzero(data[member] != data[other]))
+                    for other in group
+                    if other != member
+                ]
+                assert min(distances) <= 2
+
+    def test_similarity_finds_high_overlap_pairs(self):
+        """A one-bit perturbation of a 20-element set sits at Jaccard
+        ~0.95 — far above the LSH knee, so it must be found."""
+        rng = np.random.default_rng(12)
+        data = rng.random((50, 300)) < 0.07
+        base = rng.choice(300, size=20, replace=False)
+        data[17] = False
+        data[17, base] = True
+        data[33] = data[17]
+        data[33, int(base[0])] = False  # remove one element: distance 1
+        groups = make_group_finder("lsh").find_groups(data, 1)
+        assert any({17, 33} <= set(g) for g in groups)
+
+    def test_zero_overlap_small_sets_at_k(self):
+        data = np.zeros((3, 10), dtype=bool)
+        data[0, 0] = True
+        data[1, 5] = True
+        # {0} vs {5}: distance 2 with zero overlap — anchor pass case
+        assert make_group_finder("lsh").find_groups(data, 2) == [[0, 1, 2]]
+
+    def test_empty_matrix(self):
+        assert make_group_finder("lsh").find_groups(
+            np.zeros((0, 5), dtype=bool), 0
+        ) == []
+
+    def test_empty_rows_group_at_k0(self):
+        data = np.zeros((3, 6), dtype=bool)
+        data[1, 2] = True
+        assert make_group_finder("lsh").find_groups(data, 0) == [[0, 2]]
+
+    def test_deterministic(self):
+        data = data_with_duplicates(3)
+        finder = make_group_finder("lsh")
+        assert finder.find_groups(data, 1) == finder.find_groups(data, 1)
+
+    def test_parameters_forwarded(self):
+        finder = make_group_finder("lsh", n_hashes=32, n_bands=8, seed=5)
+        assert finder._n_hashes == 32
+        assert finder._n_bands == 8

@@ -1,0 +1,99 @@
+"""Unit tests for MinHash signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lsh.minhash import (
+    EMPTY_ROW_SENTINEL,
+    estimate_jaccard,
+    minhash_signatures,
+)
+
+
+def random_sets(n_rows: int, n_cols: int, density: float, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random((n_rows, n_cols)) < density
+
+
+class TestSignatures:
+    def test_shape_and_dtype(self):
+        signatures = minhash_signatures(
+            random_sets(10, 50, 0.2, 0), n_hashes=32
+        )
+        assert signatures.shape == (10, 32)
+        assert signatures.dtype == np.uint64
+
+    def test_identical_rows_identical_signatures(self):
+        data = random_sets(5, 40, 0.3, 1)
+        data[3] = data[0]
+        signatures = minhash_signatures(data)
+        assert np.array_equal(signatures[0], signatures[3])
+
+    def test_deterministic_per_seed(self):
+        data = random_sets(6, 30, 0.2, 2)
+        assert np.array_equal(
+            minhash_signatures(data, seed=9), minhash_signatures(data, seed=9)
+        )
+
+    def test_seeds_differ(self):
+        data = random_sets(6, 30, 0.2, 3)
+        assert not np.array_equal(
+            minhash_signatures(data, seed=1), minhash_signatures(data, seed=2)
+        )
+
+    def test_empty_rows_get_sentinel(self):
+        data = np.zeros((3, 10), dtype=bool)
+        data[1, 4] = True
+        signatures = minhash_signatures(data)
+        assert (signatures[0] == EMPTY_ROW_SENTINEL).all()
+        assert (signatures[2] == EMPTY_ROW_SENTINEL).all()
+        assert not (signatures[1] == EMPTY_ROW_SENTINEL).all()
+
+    def test_n_hashes_validated(self):
+        with pytest.raises(ConfigurationError):
+            minhash_signatures(np.zeros((1, 2), dtype=bool), n_hashes=0)
+
+    def test_accepts_sparse_input(self):
+        import scipy.sparse as sp
+
+        dense = random_sets(4, 20, 0.3, 4)
+        assert np.array_equal(
+            minhash_signatures(dense),
+            minhash_signatures(sp.csr_matrix(dense)),
+        )
+
+
+class TestJaccardEstimate:
+    def test_identical_sets_estimate_one(self):
+        data = random_sets(2, 60, 0.3, 5)
+        data[1] = data[0]
+        signatures = minhash_signatures(data, n_hashes=64)
+        assert estimate_jaccard(signatures[0], signatures[1]) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        data = np.zeros((2, 100), dtype=bool)
+        data[0, :30] = True
+        data[1, 60:90] = True
+        signatures = minhash_signatures(data, n_hashes=128)
+        assert estimate_jaccard(signatures[0], signatures[1]) < 0.1
+
+    def test_estimate_tracks_true_jaccard(self):
+        """Statistical: |estimate - truth| small with many hashes."""
+        rng = np.random.default_rng(6)
+        a = np.zeros(200, dtype=bool)
+        b = np.zeros(200, dtype=bool)
+        a[:80] = True
+        b[40:120] = True  # |∩|=40, |∪|=120 → J = 1/3
+        data = np.stack([a, b])
+        signatures = minhash_signatures(data, n_hashes=512, seed=7)
+        estimate = estimate_jaccard(signatures[0], signatures[1])
+        assert abs(estimate - 1 / 3) < 0.08
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_jaccard(
+                np.zeros(4, dtype=np.uint64), np.zeros(8, dtype=np.uint64)
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for remediation action types and the plan container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import EntityKind
+from repro.core.taxonomy import Axis
+from repro.remediation import (
+    MergeRoles,
+    RemediationPlan,
+    RemoveNode,
+    ReviewSuggestion,
+)
+
+
+class TestRemoveNode:
+    def test_describe(self):
+        action = RemoveNode(EntityKind.USER, "u1", "standalone user")
+        assert "remove user 'u1'" in action.describe()
+        assert "standalone user" in action.describe()
+
+
+class TestMergeRoles:
+    def test_needs_removals(self):
+        with pytest.raises(ValueError):
+            MergeRoles("keep", (), Axis.USERS)
+
+    def test_keeper_cannot_be_removed(self):
+        with pytest.raises(ValueError):
+            MergeRoles("r1", ("r1", "r2"), Axis.USERS)
+
+    def test_describe_mentions_axis(self):
+        action = MergeRoles("r1", ("r2",), Axis.PERMISSIONS)
+        assert "identical permissions" in action.describe()
+
+
+class TestPlan:
+    def _plan(self) -> RemediationPlan:
+        return RemediationPlan(
+            actions=[
+                RemoveNode(EntityKind.USER, "u1", "standalone user"),
+                MergeRoles("r1", ("r2", "r3"), Axis.USERS),
+                RemoveNode(EntityKind.ROLE, "r9", "standalone role"),
+            ],
+            suggestions=[
+                ReviewSuggestion("look at r5/r6", ("r5", "r6"), Axis.USERS)
+            ],
+        )
+
+    def test_len_and_iter(self):
+        plan = self._plan()
+        assert len(plan) == 3
+        assert list(plan) == plan.actions
+
+    def test_n_role_removals(self):
+        assert self._plan().n_role_removals == 3  # r2, r3 merged + r9
+
+    def test_without_drops_indices(self):
+        plan = self._plan().without(0, 2)
+        assert len(plan) == 1
+        assert isinstance(plan.actions[0], MergeRoles)
+        assert len(plan.suggestions) == 1  # suggestions kept
+
+    def test_to_dict_shapes(self):
+        payload = self._plan().to_dict()
+        assert payload["actions"][0] == {
+            "action": "remove_node",
+            "kind": "user",
+            "entity_id": "u1",
+            "reason": "standalone user",
+        }
+        assert payload["actions"][1] == {
+            "action": "merge_roles",
+            "keep": "r1",
+            "remove": ["r2", "r3"],
+            "axis": "users",
+        }
+        assert payload["suggestions"][0]["role_ids"] == ["r5", "r6"]
+
+    def test_describe_lists_everything(self):
+        text = self._plan().describe()
+        assert "3 actions" in text
+        assert "merge roles" in text
+        assert "look at r5/r6" in text

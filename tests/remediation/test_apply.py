@@ -1,0 +1,162 @@
+"""Unit tests for plan application and its safety guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis
+from repro.exceptions import RemediationError
+from repro.remediation import (
+    MergeRoles,
+    RemediationPlan,
+    RemoveNode,
+    apply_plan,
+    build_plan,
+)
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2"],
+        roles=["r1", "r2", "r3"],
+        permissions=["p1", "p2", "p3"],
+        user_assignments=[
+            ("r1", "u1"), ("r1", "u2"),
+            ("r2", "u1"), ("r2", "u2"),
+            ("r3", "u1"),
+        ],
+        permission_assignments=[
+            ("r1", "p1"),
+            ("r2", "p2"),
+            ("r3", "p3"),
+        ],
+    )
+
+
+class TestMergeSemantics:
+    def test_merge_same_users_folds_permissions(self, state):
+        plan = RemediationPlan(
+            actions=[MergeRoles("r1", ("r2",), Axis.USERS)]
+        )
+        result = apply_plan(state, plan)
+        assert not result.has_role("r2")
+        assert result.permissions_of_role("r1") == {"p1", "p2"}
+        # effective permissions unchanged
+        assert result.effective_permissions("u1") == {"p1", "p2", "p3"}
+
+    def test_merge_same_permissions_folds_users(self):
+        state = RbacState.build(
+            users=["u1", "u2"],
+            roles=["a", "b"],
+            permissions=["p1"],
+            user_assignments=[("a", "u1"), ("b", "u2")],
+            permission_assignments=[("a", "p1"), ("b", "p1")],
+        )
+        plan = RemediationPlan(
+            actions=[MergeRoles("a", ("b",), Axis.PERMISSIONS)]
+        )
+        result = apply_plan(state, plan)
+        assert result.users_of_role("a") == {"u1", "u2"}
+        assert not result.has_role("b")
+
+    def test_source_state_untouched(self, state):
+        snapshot = state.copy()
+        plan = RemediationPlan(actions=[MergeRoles("r1", ("r2",), Axis.USERS)])
+        apply_plan(state, plan)
+        assert state == snapshot
+
+
+class TestStalenessChecks:
+    def test_merge_with_drifted_group_rejected(self, state):
+        plan = RemediationPlan(actions=[MergeRoles("r1", ("r3",), Axis.USERS)])
+        with pytest.raises(RemediationError, match="no longer shares"):
+            apply_plan(state, plan)
+
+    def test_merge_with_missing_keeper_rejected(self, state):
+        plan = RemediationPlan(
+            actions=[MergeRoles("nope", ("r2",), Axis.USERS)]
+        )
+        with pytest.raises(RemediationError, match="keeper"):
+            apply_plan(state, plan)
+
+    def test_remove_user_with_roles_rejected(self, state):
+        plan = RemediationPlan(
+            actions=[RemoveNode(EntityKind.USER, "u1", "standalone user")]
+        )
+        with pytest.raises(RemediationError, match="stale"):
+            apply_plan(state, plan)
+
+    def test_remove_connected_role_rejected(self, state):
+        plan = RemediationPlan(
+            actions=[RemoveNode(EntityKind.ROLE, "r1", "standalone role")]
+        )
+        with pytest.raises(RemediationError, match="stale"):
+            apply_plan(state, plan)
+
+    def test_error_mentions_action_position(self, state):
+        plan = RemediationPlan(
+            actions=[
+                MergeRoles("r1", ("r2",), Axis.USERS),
+                MergeRoles("r1", ("r3",), Axis.USERS),
+            ]
+        )
+        with pytest.raises(RemediationError, match="action #1"):
+            apply_plan(state, plan)
+
+
+class TestRemoveSemantics:
+    def test_remove_standalone_nodes(self):
+        state = RbacState.build(
+            users=["ghost"], roles=["empty"], permissions=["unused"]
+        )
+        plan = RemediationPlan(
+            actions=[
+                RemoveNode(EntityKind.USER, "ghost", "standalone"),
+                RemoveNode(EntityKind.ROLE, "empty", "standalone"),
+                RemoveNode(EntityKind.PERMISSION, "unused", "standalone"),
+            ]
+        )
+        result = apply_plan(state, plan)
+        assert result.n_users == 0
+        assert result.n_roles == 0
+        assert result.n_permissions == 0
+
+    def test_remove_disconnected_role_with_users(self):
+        """A role with users but no permissions grants nothing: its
+        removal passes the safety validation."""
+        state = RbacState.build(
+            users=["u1"],
+            roles=["useless", "real"],
+            permissions=["p1"],
+            user_assignments=[("useless", "u1"), ("real", "u1")],
+            permission_assignments=[("real", "p1")],
+        )
+        plan = RemediationPlan(
+            actions=[RemoveNode(EntityKind.ROLE, "useless", "no permissions")]
+        )
+        result = apply_plan(state, plan)
+        assert result.effective_permissions("u1") == {"p1"}
+
+
+class TestEndToEnd:
+    def test_full_cycle_on_paper_example(self, paper_example):
+        report = analyze(paper_example)
+        plan = build_plan(report)
+        result = apply_plan(paper_example, plan)
+        # R02/R03 removed, R05 merged into R04, P01 removed.
+        assert result.role_ids() == ["R01", "R04"]
+        assert not result.has_permission("P01")
+        # users keep their effective permissions
+        for user_id in result.user_ids():
+            assert result.effective_permissions(
+                user_id
+            ) == paper_example.effective_permissions(user_id)
+
+    def test_validation_can_be_disabled(self, paper_example):
+        plan = build_plan(analyze(paper_example))
+        result = apply_plan(paper_example, plan, validate_safety=False)
+        assert result.n_roles == 2

@@ -1,0 +1,69 @@
+"""Unit tests for the fixed-point cleanup loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.datagen import OrgProfile, generate_org
+from repro.exceptions import RemediationError
+from repro.remediation import run_to_fixed_point
+from repro.remediation.planner import PlannerOptions
+
+
+class TestConvergence:
+    def test_clean_state_converges_immediately(self):
+        state = RbacState.build(
+            users=["u1"], roles=["r1"], permissions=["p1"],
+            user_assignments=[("r1", "u1")],
+            permission_assignments=[("r1", "p1")],
+        )
+        result = run_to_fixed_point(state)
+        assert result.converged
+        assert result.n_rounds == 0
+        assert result.final_state == state
+
+    def test_paper_example_converges(self, paper_example):
+        result = run_to_fixed_point(paper_example)
+        assert result.converged
+        assert result.n_rounds >= 1
+        assert result.final_state.n_roles == 2
+        # input untouched
+        assert paper_example.n_roles == 5
+
+    def test_planted_org_round_history(self):
+        org = generate_org(OrgProfile.small(divisor=200, seed=11))
+        result = run_to_fixed_point(org.state)
+        assert result.converged
+        assert result.rounds[0].plan.actions
+        assert result.reduction.roles_removed > 0
+        # role counts strictly decrease per round
+        counts = [r.roles_after for r in result.rounds]
+        assert counts == sorted(counts, reverse=True)
+        # the final state is truly a fixed point
+        final_counts = analyze(result.final_state).counts()
+        assert final_counts["roles_same_users"] == 0
+        assert final_counts["roles_without_users"] == 0
+
+    def test_max_rounds_exceeded_raises(self, paper_example):
+        with pytest.raises(RemediationError, match="fixed point"):
+            run_to_fixed_point(paper_example, max_rounds=0)
+
+    def test_planner_options_respected(self, paper_example):
+        options = PlannerOptions(
+            remove_standalone_permissions=False,
+            remove_disconnected_roles=False,
+            merge_duplicate_roles=False,
+            remove_standalone_users=False,
+            remove_standalone_roles=False,
+        )
+        result = run_to_fixed_point(paper_example, planner_options=options)
+        assert result.converged
+        assert result.n_rounds == 0  # nothing is actionable
+
+    def test_describe(self, paper_example):
+        text = run_to_fixed_point(paper_example).describe()
+        assert "converged" in text
+        assert "round 1" in text
+        assert "total:" in text

@@ -1,0 +1,54 @@
+"""Unit tests for reduction metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.remediation import apply_plan, build_plan, measure_reduction
+
+
+class TestMetrics:
+    def test_no_change(self, paper_example):
+        metrics = measure_reduction(paper_example, paper_example.copy())
+        assert metrics.roles_removed == 0
+        assert metrics.role_reduction_fraction == 0.0
+        assert metrics.edges_removed == 0
+
+    def test_paper_example_reduction(self, paper_example):
+        plan = build_plan(analyze(paper_example))
+        cleaned = apply_plan(paper_example, plan)
+        metrics = measure_reduction(paper_example, cleaned)
+        assert metrics.roles_before == 5
+        assert metrics.roles_after == 2
+        assert metrics.roles_removed == 3
+        assert metrics.role_reduction_fraction == pytest.approx(0.6)
+
+    def test_empty_state_fraction_is_zero(self):
+        metrics = measure_reduction(RbacState(), RbacState())
+        assert metrics.role_reduction_fraction == 0.0
+
+    def test_describe_mentions_counts(self, paper_example):
+        plan = build_plan(analyze(paper_example))
+        cleaned = apply_plan(paper_example, plan)
+        text = measure_reduction(paper_example, cleaned).describe()
+        assert "5 -> 2" in text
+        assert "60.0%" in text
+
+
+class TestPaperHeadline:
+    def test_planted_org_reproduces_ten_percent(self):
+        """§IV-B: consolidating same-user/same-permission groups removes
+        ~10% of all roles.  The planted profile keeps the paper's
+        proportions, so the headline must reproduce exactly."""
+        from repro.core import AnalysisConfig, InefficiencyType
+        from repro.datagen import OrgProfile, generate_org
+
+        org = generate_org(OrgProfile.small(divisor=100, seed=3))
+        report = analyze(org.state)
+        potential = report.consolidation_potential()
+        # pairs: (80 same-user + 20 same-perm) roles → 40 + 10 removable
+        assert potential["removable_via_same_users"] == 40
+        assert potential["removable_via_same_permissions"] == 10
+        assert potential["fraction_of_roles"] == pytest.approx(0.10)

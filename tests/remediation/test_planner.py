@@ -1,0 +1,135 @@
+"""Unit tests for the remediation planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze
+from repro.core.entities import EntityKind
+from repro.core.state import RbacState
+from repro.core.taxonomy import Axis
+from repro.datagen import add_role_twin, add_standalone_user
+from repro.remediation import (
+    MergeRoles,
+    PlannerOptions,
+    RemoveNode,
+    build_plan,
+)
+
+
+@pytest.fixture
+def messy_state(paper_example) -> RbacState:
+    add_standalone_user(paper_example, "ghost")
+    return paper_example
+
+
+class TestDefaults:
+    def test_standalone_nodes_removed(self, messy_state):
+        plan = build_plan(analyze(messy_state))
+        removals = [a for a in plan if isinstance(a, RemoveNode)]
+        removed_ids = {a.entity_id for a in removals}
+        assert "ghost" in removed_ids
+        assert "P01" in removed_ids  # standalone permission of Figure 1
+
+    def test_disconnected_roles_removed(self, messy_state):
+        plan = build_plan(analyze(messy_state))
+        removed_roles = {
+            a.entity_id
+            for a in plan
+            if isinstance(a, RemoveNode) and a.kind is EntityKind.ROLE
+        }
+        assert {"R02", "R03"} <= removed_roles
+
+    def test_duplicates_merged_per_group(self, messy_state):
+        plan = build_plan(analyze(messy_state))
+        merges = [a for a in plan if isinstance(a, MergeRoles)]
+        # R02/R04 share users but R02 was already removed (disconnected),
+        # so only the permissions-axis pair (R04, R05) produces a merge.
+        assert len(merges) == 1
+        assert merges[0].keep_role_id == "R04"
+        assert merges[0].remove_role_ids == ("R05",)
+        assert merges[0].axis is Axis.PERMISSIONS
+
+    def test_similar_roles_become_suggestions(self):
+        state = RbacState.build(
+            users=["u1", "u2", "u3"],
+            roles=["a", "b"],
+            permissions=["p1", "p2", "p3", "p4"],
+            user_assignments=[
+                ("a", "u1"), ("a", "u2"),
+                ("b", "u1"), ("b", "u2"), ("b", "u3"),
+            ],
+            permission_assignments=[
+                ("a", "p1"), ("a", "p2"),
+                ("b", "p3"), ("b", "p4"),
+            ],
+        )
+        plan = build_plan(analyze(state))
+        assert not [a for a in plan if isinstance(a, MergeRoles)]
+        assert any(
+            set(s.role_ids) == {"a", "b"} for s in plan.suggestions
+        )
+
+    def test_each_role_touched_once(self, messy_state):
+        # Make R04 a duplicate on both axes via a full twin: the planner
+        # must not merge the same role twice.
+        twin = add_role_twin(messy_state, "R04")
+        plan = build_plan(analyze(messy_state))
+        touched: list[str] = []
+        for action in plan:
+            if isinstance(action, MergeRoles):
+                touched.append(action.keep_role_id)
+                touched.extend(action.remove_role_ids)
+            elif (
+                isinstance(action, RemoveNode)
+                and action.kind is EntityKind.ROLE
+            ):
+                touched.append(action.entity_id)
+        assert len(touched) == len(set(touched))
+        assert twin in touched
+
+    def test_keeper_is_smallest_id(self):
+        state = RbacState.build(
+            users=["u1"],
+            roles=["zz", "aa"],
+            permissions=["p1"],
+            user_assignments=[("zz", "u1"), ("aa", "u1")],
+            permission_assignments=[("zz", "p1"), ("aa", "p1")],
+        )
+        plan = build_plan(analyze(state))
+        merges = [a for a in plan if isinstance(a, MergeRoles)]
+        assert merges[0].keep_role_id == "aa"
+
+    def test_plan_deterministic(self, messy_state):
+        report = analyze(messy_state)
+        assert build_plan(report).to_dict() == build_plan(report).to_dict()
+
+
+class TestOptions:
+    def test_disable_standalone_user_removal(self, messy_state):
+        options = PlannerOptions(remove_standalone_users=False)
+        plan = build_plan(analyze(messy_state), options)
+        assert not any(
+            isinstance(a, RemoveNode) and a.kind is EntityKind.USER
+            for a in plan
+        )
+
+    def test_disable_merging(self, messy_state):
+        options = PlannerOptions(merge_duplicate_roles=False)
+        plan = build_plan(analyze(messy_state), options)
+        assert not any(isinstance(a, MergeRoles) for a in plan)
+
+    def test_single_axis_merging(self, paper_example):
+        options = PlannerOptions(
+            remove_disconnected_roles=False,
+            merge_axes=(Axis.USERS,),
+        )
+        plan = build_plan(analyze(paper_example), options)
+        merges = [a for a in plan if isinstance(a, MergeRoles)]
+        assert [m.axis for m in merges] == [Axis.USERS]
+
+    def test_single_assignment_suggestions_opt_in(self, paper_example):
+        plan_default = build_plan(analyze(paper_example))
+        options = PlannerOptions(suggest_single_assignment_roles=True)
+        plan_opted = build_plan(analyze(paper_example), options)
+        assert len(plan_opted.suggestions) > len(plan_default.suggestions)

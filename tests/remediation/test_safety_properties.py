@@ -1,0 +1,114 @@
+"""Property-based safety tests: the central remediation invariant.
+
+For ANY state, building the default plan and applying it must never
+change a surviving user's effective permission set (minus permissions
+that were provably unreachable).  This is the guarantee that makes
+automated consolidation trustworthy.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze
+from repro.core.state import RbacState
+from repro.remediation import apply_plan, build_plan, measure_reduction
+
+identifier = st.text(
+    alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=6
+)
+
+
+@st.composite
+def rbac_states(draw) -> RbacState:
+    users = draw(st.lists(identifier, min_size=1, max_size=8, unique=True))
+    roles = draw(st.lists(identifier, min_size=1, max_size=10, unique=True))
+    permissions = draw(
+        st.lists(identifier, min_size=1, max_size=8, unique=True)
+    )
+    state = RbacState.build(users=users, roles=roles, permissions=permissions)
+    # Dense-ish random edges plus forced duplicates for interesting plans.
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        state.assign_user(
+            draw(st.sampled_from(roles)), draw(st.sampled_from(users))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        state.assign_permission(
+            draw(st.sampled_from(roles)), draw(st.sampled_from(permissions))
+        )
+    if len(roles) >= 2 and draw(st.booleans()):
+        # Force a duplicate pair.
+        source, target = roles[0], roles[1]
+        for user_id in state.users_of_role(source):
+            state.assign_user(target, user_id)
+        for user_id in state.users_of_role(target) - state.users_of_role(
+            source
+        ):
+            state.revoke_user(target, user_id)
+    return state
+
+
+class TestSafetyInvariant:
+    @given(rbac_states())
+    @settings(max_examples=60, deadline=None)
+    def test_effective_permissions_never_change(self, state):
+        before = state.effective_permission_map()
+        plan = build_plan(analyze(state))
+        cleaned = apply_plan(state, plan)  # raises on violation
+        after = cleaned.effective_permission_map()
+        for user_id, had in before.items():
+            if cleaned.has_user(user_id):
+                assert after[user_id] == had - (
+                    had - frozenset(cleaned.permission_ids())
+                )
+
+    @given(rbac_states())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_metrics_never_negative(self, state):
+        plan = build_plan(analyze(state))
+        cleaned = apply_plan(state, plan)
+        metrics = measure_reduction(state, cleaned)
+        assert metrics.roles_removed >= 0
+        assert metrics.edges_removed >= 0
+        assert 0.0 <= metrics.role_reduction_fraction <= 1.0
+
+    @given(rbac_states())
+    @settings(max_examples=30, deadline=None)
+    def test_cleanup_converges(self, state):
+        """Applying plans repeatedly reaches a fixed point: eventually no
+        actionable findings remain (the paper's periodic-run story)."""
+        current = state
+        for _round in range(6):
+            plan = build_plan(analyze(current))
+            if not plan.actions:
+                break
+            next_state = apply_plan(current, plan)
+            # strictly decreasing entity count guarantees termination
+            assert (
+                next_state.n_roles + next_state.n_users
+                + next_state.n_permissions
+                < current.n_roles + current.n_users + current.n_permissions
+            )
+            current = next_state
+        else:
+            raise AssertionError("cleanup did not converge in 6 rounds")
+
+    @given(rbac_states())
+    @settings(max_examples=30, deadline=None)
+    def test_post_clean_state_has_no_duplicate_findings(self, state):
+        current = state
+        for _round in range(6):
+            plan = build_plan(analyze(current))
+            if not plan.actions:
+                break
+            current = apply_plan(current, plan)
+        counts = analyze(current).counts()
+        assert counts["roles_same_users"] == 0
+        assert counts["roles_same_permissions"] == 0
+        assert counts["standalone_users"] == 0
+        assert counts["standalone_permissions"] == 0
+        assert counts["roles_without_users"] == 0
+        assert counts["roles_without_permissions"] == 0

@@ -1,0 +1,129 @@
+"""Tests for shadowed-role remediation (planner + apply + safety)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze
+from repro.core.state import RbacState
+from repro.exceptions import RemediationError
+from repro.remediation import (
+    PlannerOptions,
+    RemediationPlan,
+    RemoveShadowedRole,
+    apply_plan,
+    build_plan,
+    run_to_fixed_point,
+)
+
+
+@pytest.fixture
+def shadowed_state() -> RbacState:
+    return RbacState.build(
+        users=["a", "b"],
+        roles=["big", "small"],
+        permissions=["p", "q"],
+        user_assignments=[("big", "a"), ("big", "b"), ("small", "a")],
+        permission_assignments=[("big", "p"), ("big", "q"), ("small", "p")],
+    )
+
+
+class TestAction:
+    def test_self_shadowing_rejected(self):
+        with pytest.raises(ValueError):
+            RemoveShadowedRole("r", "r")
+
+    def test_describe(self):
+        action = RemoveShadowedRole("small", "big")
+        assert "shadowed by 'big'" in action.describe()
+
+    def test_serialised_in_plan(self):
+        plan = RemediationPlan(actions=[RemoveShadowedRole("small", "big")])
+        assert plan.to_dict()["actions"][0] == {
+            "action": "remove_shadowed_role",
+            "role": "small",
+            "shadowed_by": "big",
+        }
+        assert plan.n_role_removals == 1
+
+
+class TestPlanner:
+    def test_planned_from_extension_report(self, shadowed_state):
+        report = analyze(shadowed_state, AnalysisConfig.with_extensions())
+        plan = build_plan(report)
+        shadowed = [
+            a for a in plan if isinstance(a, RemoveShadowedRole)
+        ]
+        assert len(shadowed) == 1
+        assert shadowed[0].role_id == "small"
+
+    def test_opt_out(self, shadowed_state):
+        report = analyze(shadowed_state, AnalysisConfig.with_extensions())
+        plan = build_plan(
+            report, PlannerOptions(remove_shadowed_roles=False)
+        )
+        assert not [a for a in plan if isinstance(a, RemoveShadowedRole)]
+
+    def test_domination_chain_resolves_safely(self):
+        # r1 ⊆ r2 ⊆ r3: r2 is both dominated (by r3) and a dominator (of
+        # r1).  Actions are emitted in role order, so r1 is validated
+        # against r2 *before* r2 itself is removed — both can go in one
+        # round, and the loop converges to the maximal role alone.
+        state = RbacState.build(
+            users=["a", "b", "c"],
+            roles=["r1", "r2", "r3"],
+            permissions=["p1", "p2", "p3"],
+            user_assignments=[
+                ("r1", "a"),
+                ("r2", "a"), ("r2", "b"),
+                ("r3", "a"), ("r3", "b"), ("r3", "c"),
+            ],
+            permission_assignments=[
+                ("r1", "p1"),
+                ("r2", "p1"), ("r2", "p2"),
+                ("r3", "p1"), ("r3", "p2"), ("r3", "p3"),
+            ],
+        )
+        report = analyze(state, AnalysisConfig.with_extensions())
+        plan = build_plan(report)
+        shadowed = [a for a in plan if isinstance(a, RemoveShadowedRole)]
+        assert {a.role_id for a in shadowed} == {"r1", "r2"}
+        # r1 appears before r2, so its apply-time validation still sees r2
+        positions = [a.role_id for a in shadowed]
+        assert positions.index("r1") < positions.index("r2")
+        cleaned = apply_plan(state, plan)
+        assert cleaned.role_ids() == ["r3"]
+        # and the loop is already at the fixed point afterwards
+        result = run_to_fixed_point(
+            state, config=AnalysisConfig.with_extensions()
+        )
+        assert result.converged
+        assert result.final_state.role_ids() == ["r3"]
+
+
+class TestApply:
+    def test_removal_preserves_effective_access(self, shadowed_state):
+        report = analyze(shadowed_state, AnalysisConfig.with_extensions())
+        cleaned = apply_plan(shadowed_state, build_plan(report))
+        assert not cleaned.has_role("small")
+        for user_id in cleaned.user_ids():
+            assert cleaned.effective_permissions(
+                user_id
+            ) == shadowed_state.effective_permissions(user_id)
+
+    def test_stale_plan_rejected_on_user_drift(self, shadowed_state):
+        plan = RemediationPlan(actions=[RemoveShadowedRole("small", "big")])
+        shadowed_state.revoke_user("big", "a")  # breaks user domination
+        with pytest.raises(RemediationError, match="user-dominated"):
+            apply_plan(shadowed_state, plan)
+
+    def test_stale_plan_rejected_on_permission_drift(self, shadowed_state):
+        plan = RemediationPlan(actions=[RemoveShadowedRole("small", "big")])
+        shadowed_state.revoke_permission("big", "p")
+        with pytest.raises(RemediationError, match="permission-dominated"):
+            apply_plan(shadowed_state, plan)
+
+    def test_missing_roles_rejected(self, shadowed_state):
+        plan = RemediationPlan(actions=[RemoveShadowedRole("ghost", "big")])
+        with pytest.raises(RemediationError, match="no longer exists"):
+            apply_plan(shadowed_state, plan)

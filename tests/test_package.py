@@ -1,0 +1,118 @@
+"""Package-level sanity: exceptions, types, version, public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    DuplicateEntityError,
+    RemediationError,
+    ReproError,
+    SafetyViolationError,
+    UnknownEntityError,
+    ValidationError,
+)
+from repro.types import as_bool_matrix
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ValidationError,
+            UnknownEntityError,
+            DuplicateEntityError,
+            ConfigurationError,
+            DataFormatError,
+            RemediationError,
+            SafetyViolationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_safety_violation_is_remediation_error(self):
+        assert issubclass(SafetyViolationError, RemediationError)
+
+    def test_unknown_entity_is_also_key_error(self):
+        assert issubclass(UnknownEntityError, KeyError)
+        error = UnknownEntityError("role", "r9")
+        assert error.kind == "role"
+        assert error.identifier == "r9"
+        assert "r9" in str(error)
+
+    def test_duplicate_entity_message(self):
+        error = DuplicateEntityError("user", "u1")
+        assert "duplicate user" in str(error)
+
+    def test_single_except_clause_catches_everything(self):
+        """The documented API-boundary pattern."""
+        from repro.core.state import RbacState
+
+        caught = []
+        for trigger in (
+            lambda: RbacState().get_user("nope"),
+            lambda: as_bool_matrix_raise(),
+        ):
+            try:
+                trigger()
+            except ReproError as error:
+                caught.append(type(error).__name__)
+            except ValueError:
+                caught.append("ValueError")
+        assert caught[0] == "UnknownEntityError"
+
+
+def as_bool_matrix_raise():
+    as_bool_matrix([1, 2, 3])  # 1-D → ValueError (not a ReproError)
+
+
+class TestTypes:
+    def test_as_bool_matrix_from_ints(self):
+        matrix = as_bool_matrix([[1, 0], [0, 2]])
+        assert matrix.dtype == bool
+        assert matrix.tolist() == [[True, False], [False, True]]
+
+    def test_as_bool_matrix_passthrough(self):
+        original = np.zeros((2, 2), dtype=bool)
+        assert as_bool_matrix(original) is original
+
+    def test_as_bool_matrix_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_bool_matrix([1, 0])
+
+
+class TestVersion:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        if not pyproject.exists():
+            pytest.skip("source layout not present")
+        match = re.search(
+            r'^version = "([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import importlib
+
+        for module in (
+            "repro.core", "repro.cluster", "repro.ann", "repro.lsh",
+            "repro.bitmatrix", "repro.datagen", "repro.io",
+            "repro.remediation", "repro.benchharness", "repro.cli",
+            "repro.hierarchy", "repro.usage", "repro.mining", "repro.util",
+        ):
+            importlib.import_module(module)

@@ -1,0 +1,124 @@
+"""Unit tests for dormancy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import RbacState
+from repro.usage import AccessLog, UsageAnalysis, generate_access_log
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["active", "idle"],
+        roles=["used-role", "dead-role"],
+        permissions=["p-used", "p-never"],
+        user_assignments=[
+            ("used-role", "active"),
+            ("used-role", "idle"),
+            ("dead-role", "idle"),
+        ],
+        permission_assignments=[
+            ("used-role", "p-used"),
+            ("dead-role", "p-never"),
+        ],
+    )
+
+
+class TestDormancy:
+    def test_everything_dormant_on_empty_log(self, state):
+        analysis = UsageAnalysis(state, AccessLog())
+        assert set(analysis.dormant_roles) == {"used-role", "dead-role"}
+        assert len(analysis.dormant_memberships) == 3
+        assert len(analysis.unused_grants) == 2
+
+    def test_single_use_wakes_membership_and_grant(self, state):
+        log = AccessLog()
+        log.record("active", "p-used")
+        analysis = UsageAnalysis(state, log)
+        assert ("used-role", "active") not in analysis.dormant_memberships
+        assert ("used-role", "idle") in analysis.dormant_memberships
+        assert ("used-role", "p-used") not in analysis.unused_grants
+        assert analysis.dormant_roles == ["dead-role"]
+
+    def test_benefit_of_the_doubt_attribution(self):
+        """A permission granted through two roles wakes both memberships
+        when used — no arbitrary attribution."""
+        state = RbacState.build(
+            users=["u"],
+            roles=["a", "b"],
+            permissions=["p"],
+            user_assignments=[("a", "u"), ("b", "u")],
+            permission_assignments=[("a", "p"), ("b", "p")],
+        )
+        log = AccessLog()
+        log.record("u", "p")
+        analysis = UsageAnalysis(state, log)
+        assert analysis.dormant_memberships == []
+        assert analysis.dormant_roles == []
+
+    def test_unknown_event_pairs_surfaced(self, state):
+        log = AccessLog()
+        log.record("active", "p-never")  # not granted to 'active'
+        log.record("ghost", "p-used")  # unknown user
+        analysis = UsageAnalysis(state, log)
+        assert ("active", "p-never") in analysis.unknown_event_pairs
+        assert ("ghost", "p-used") in analysis.unknown_event_pairs
+        assert analysis.summary().n_unknown_event_pairs == 2
+
+    def test_roles_without_members_never_dormant(self):
+        """An empty role is a type-2 finding for the main detectors, not
+        a usage question."""
+        state = RbacState.build(
+            roles=["empty"], permissions=["p"],
+            permission_assignments=[("empty", "p")],
+        )
+        analysis = UsageAnalysis(state, AccessLog())
+        assert analysis.dormant_roles == []
+        assert analysis.unused_grants == [("empty", "p")]
+
+
+class TestSummaryAndText:
+    def test_summary_counts(self, state):
+        log = AccessLog()
+        log.record("active", "p-used")
+        summary = UsageAnalysis(state, log).summary()
+        assert summary.n_events == 1
+        assert summary.n_memberships == 3
+        assert summary.n_dormant_memberships == 2
+        assert summary.n_grants == 2
+        assert summary.n_unused_grants == 1
+        assert summary.n_dormant_roles == 1
+
+    def test_to_text(self, state):
+        text = UsageAnalysis(state, AccessLog()).to_text()
+        assert "dormant memberships:    3 of 3" in text
+        assert "dead-role" in text
+
+    def test_summary_serialisable(self, state):
+        import json
+
+        json.dumps(UsageAnalysis(state, AccessLog()).summary().to_dict())
+
+
+class TestEndToEnd:
+    def test_generated_log_round_trip(self):
+        from repro.datagen import DepartmentProfile, generate_departmental_org
+
+        state = generate_departmental_org(DepartmentProfile(seed=8))
+        log = generate_access_log(state, exercise_rate=1.0, seed=8)
+        analysis = UsageAnalysis(state, log)
+        # full exercise: nothing with members/grants can be dormant
+        assert analysis.dormant_roles == []
+        assert analysis.dormant_memberships == []
+        assert analysis.unknown_event_pairs == []
+
+    def test_partial_exercise_flags_something(self):
+        from repro.datagen import DepartmentProfile, generate_departmental_org
+
+        state = generate_departmental_org(DepartmentProfile(seed=8))
+        log = generate_access_log(state, exercise_rate=0.3, seed=8)
+        analysis = UsageAnalysis(state, log)
+        assert len(analysis.dormant_memberships) > 0
+        assert len(analysis.unused_grants) > 0

@@ -1,0 +1,128 @@
+"""Unit tests for access logs and the synthetic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+from repro.usage import AccessLog, generate_access_log
+
+
+@pytest.fixture
+def state() -> RbacState:
+    return RbacState.build(
+        users=["u1", "u2"],
+        roles=["r1"],
+        permissions=["p1", "p2"],
+        user_assignments=[("r1", "u1"), ("r1", "u2")],
+        permission_assignments=[("r1", "p1"), ("r1", "p2")],
+    )
+
+
+class TestAccessLog:
+    def test_record_and_iterate(self):
+        log = AccessLog()
+        log.record("u1", "p1", timestamp=5.0)
+        log.record("u1", "p1", timestamp=9.0)
+        assert len(log) == 2
+        assert log.used_pairs() == {("u1", "p1")}
+        assert log.users() == {"u1"}
+        assert log.permissions() == {"p1"}
+
+    def test_window(self):
+        log = AccessLog()
+        for t in (1.0, 5.0, 9.0):
+            log.record("u1", "p1", timestamp=t)
+        windowed = log.window(2.0, 9.0)
+        assert len(windowed) == 1
+        assert next(iter(windowed)).timestamp == 5.0
+
+    def test_window_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            AccessLog().window(5.0, 1.0)
+
+    def test_empty_log(self):
+        log = AccessLog()
+        assert len(log) == 0
+        assert log.used_pairs() == frozenset()
+
+
+class TestGenerator:
+    def test_full_exercise_covers_every_pair(self, state):
+        log = generate_access_log(state, exercise_rate=1.0, seed=1)
+        assert log.used_pairs() == {
+            ("u1", "p1"), ("u1", "p2"), ("u2", "p1"), ("u2", "p2"),
+        }
+
+    def test_zero_exercise_is_empty(self, state):
+        assert len(generate_access_log(state, exercise_rate=0.0)) == 0
+
+    def test_events_only_within_granted_access(self, state):
+        log = generate_access_log(state, exercise_rate=0.5, seed=3)
+        for event in log:
+            assert event.permission_id in state.effective_permissions(
+                event.user_id
+            )
+
+    def test_timestamps_within_duration(self, state):
+        log = generate_access_log(state, duration=100.0, seed=4)
+        assert all(0.0 <= e.timestamp < 100.0 for e in log)
+
+    def test_deterministic(self, state):
+        a = list(generate_access_log(state, seed=7))
+        b = list(generate_access_log(state, seed=7))
+        assert a == b
+
+    def test_parameters_validated(self, state):
+        with pytest.raises(ConfigurationError):
+            generate_access_log(state, exercise_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            generate_access_log(state, events_per_pair=0)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, state, tmp_path):
+        from repro.usage import load_access_log_csv, save_access_log_csv
+
+        log = generate_access_log(state, exercise_rate=1.0, seed=5)
+        path = tmp_path / "log.csv"
+        save_access_log_csv(log, path)
+        restored = load_access_log_csv(path)
+        assert list(restored) == list(log)
+
+    def test_two_column_import(self, tmp_path):
+        from repro.usage import load_access_log_csv
+
+        path = tmp_path / "log.csv"
+        path.write_text("user_id,permission_id\nu1,p1\nu2,p2\n")
+        log = load_access_log_csv(path)
+        assert len(log) == 2
+        assert all(e.timestamp == 0.0 for e in log)
+
+    def test_bad_header_rejected(self, tmp_path):
+        from repro.exceptions import DataFormatError
+        from repro.usage import load_access_log_csv
+
+        path = tmp_path / "log.csv"
+        path.write_text("who,what\nu1,p1\n")
+        with pytest.raises(DataFormatError, match="header"):
+            load_access_log_csv(path)
+
+    def test_bad_timestamp_rejected(self, tmp_path):
+        from repro.exceptions import DataFormatError
+        from repro.usage import load_access_log_csv
+
+        path = tmp_path / "log.csv"
+        path.write_text("user_id,permission_id,timestamp\nu1,p1,yesterday\n")
+        with pytest.raises(DataFormatError, match="bad timestamp"):
+            load_access_log_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.exceptions import DataFormatError
+        from repro.usage import load_access_log_csv
+
+        path = tmp_path / "log.csv"
+        path.write_text("")
+        with pytest.raises(DataFormatError, match="empty"):
+            load_access_log_csv(path)

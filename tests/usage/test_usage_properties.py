@@ -1,0 +1,102 @@
+"""Property-based tests for the usage analysis."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import RbacState
+from repro.usage import AccessLog, UsageAnalysis, generate_access_log
+
+USERS = [f"u{i}" for i in range(5)]
+ROLES = [f"r{i}" for i in range(5)]
+PERMISSIONS = [f"p{i}" for i in range(5)]
+
+
+@st.composite
+def populated_states(draw) -> RbacState:
+    state = RbacState.build(
+        users=USERS, roles=ROLES, permissions=PERMISSIONS
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        state.assign_user(
+            draw(st.sampled_from(ROLES)), draw(st.sampled_from(USERS))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        state.assign_permission(
+            draw(st.sampled_from(ROLES)), draw(st.sampled_from(PERMISSIONS))
+        )
+    return state
+
+
+@st.composite
+def logs(draw) -> AccessLog:
+    log = AccessLog()
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        log.record(
+            draw(st.sampled_from(USERS)),
+            draw(st.sampled_from(PERMISSIONS)),
+            timestamp=draw(
+                st.floats(min_value=0, max_value=100, allow_nan=False)
+            ),
+        )
+    return log
+
+
+class TestMonotonicity:
+    @given(populated_states(), logs(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_more_events_never_increase_dormancy(self, state, log, data):
+        before = UsageAnalysis(state, log)
+        extended = AccessLog(list(log))
+        extra_user = data.draw(st.sampled_from(USERS))
+        extra_permission = data.draw(st.sampled_from(PERMISSIONS))
+        extended.record(extra_user, extra_permission)
+        after = UsageAnalysis(state, extended)
+        assert set(after.dormant_memberships) <= set(
+            before.dormant_memberships
+        )
+        assert set(after.dormant_roles) <= set(before.dormant_roles)
+        assert set(after.unused_grants) <= set(before.unused_grants)
+
+
+class TestConsistency:
+    @given(populated_states(), logs())
+    @settings(max_examples=50, deadline=None)
+    def test_dormant_roles_have_all_memberships_dormant(self, state, log):
+        analysis = UsageAnalysis(state, log)
+        dormant_pairs = set(analysis.dormant_memberships)
+        for role_id in analysis.dormant_roles:
+            for user_id in state.users_of_role(role_id):
+                assert (role_id, user_id) in dormant_pairs
+
+    @given(populated_states(), logs())
+    @settings(max_examples=50, deadline=None)
+    def test_flagged_items_reference_real_assignments(self, state, log):
+        analysis = UsageAnalysis(state, log)
+        for role_id, user_id in analysis.dormant_memberships:
+            assert user_id in state.users_of_role(role_id)
+        for role_id, permission_id in analysis.unused_grants:
+            assert permission_id in state.permissions_of_role(role_id)
+
+    @given(populated_states())
+    @settings(max_examples=30, deadline=None)
+    def test_full_exercise_leaves_nothing_dormant(self, state):
+        log = generate_access_log(state, exercise_rate=1.0, seed=0)
+        analysis = UsageAnalysis(state, log)
+        # memberships through roles that actually grant something are
+        # exercised; memberships on permissionless roles stay dormant.
+        for role_id, _user in analysis.dormant_memberships:
+            assert state.permissions_of_role(role_id) == frozenset()
+        assert analysis.unknown_event_pairs == []
+
+    @given(populated_states(), logs())
+    @settings(max_examples=40, deadline=None)
+    def test_summary_counts_match_lists(self, state, log):
+        analysis = UsageAnalysis(state, log)
+        summary = analysis.summary()
+        assert summary.n_dormant_memberships == len(
+            analysis.dormant_memberships
+        )
+        assert summary.n_unused_grants == len(analysis.unused_grants)
+        assert summary.n_dormant_roles == len(analysis.dormant_roles)

@@ -85,6 +85,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max differing users/permissions for 'similar' roles",
     )
     analyze_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for detection (1 = serial, 0 = all cores); "
+        "the report is identical for every value",
+    )
+    analyze_parser.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row-block size for the co-occurrence product (bounds peak "
+        "memory; default: one monolithic block)",
+    )
+    analyze_parser.add_argument(
         "--format",
         default="text",
         choices=("text", "markdown", "json", "csv"),
@@ -286,16 +302,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         from repro.hierarchy import flatten, load_hierarchy_json
 
         state = flatten(state, load_hierarchy_json(args.hierarchy))
+    options = dict(
+        finder=args.finder,
+        similarity_threshold=args.similarity_threshold,
+        n_workers=None if args.workers == 0 else args.workers,
+        block_rows=args.block_rows,
+    )
     if args.extensions:
-        config = AnalysisConfig.with_extensions(
-            finder=args.finder,
-            similarity_threshold=args.similarity_threshold,
-        )
+        config = AnalysisConfig.with_extensions(**options)
     else:
-        config = AnalysisConfig(
-            finder=args.finder,
-            similarity_threshold=args.similarity_threshold,
-        )
+        config = AnalysisConfig(**options)
     report = analyze(state, config)
     if args.format == "json":
         print(report.to_json())

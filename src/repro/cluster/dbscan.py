@@ -100,10 +100,20 @@ def dbscan_labels(
     it breadth-first through the neighbourhoods of core members.  Border
     points join the first cluster that reaches them; points never reached
     by a core point stay noise.
+
+    An ``enqueued`` mask guarantees every point enters an expansion queue
+    at most once across the whole run.  Without it, each core expansion
+    re-added every not-yet-visited neighbour, so on a dense cluster the
+    queue grew to O(cluster_size^2) duplicate entries; every point is
+    still labelled identically, but the queue memory and the redundant
+    pop/requeue work are quadratic.  With the mask both the queue and the
+    number of ``radius_neighbors`` queries are bounded by ``n``
+    (``tests/cluster/test_dbscan.py::TestQueryEfficiency`` pins this).
     """
     n = search.n_points
     labels = np.full(n, NOISE, dtype=np.intp)
     visited = np.zeros(n, dtype=bool)
+    enqueued = np.zeros(n, dtype=bool)
     next_label = 0
 
     for point in range(n):
@@ -114,7 +124,12 @@ def dbscan_labels(
         if len(neighbors) < min_samples:
             continue  # noise unless later absorbed as a border point
         labels[point] = next_label
-        queue = deque(int(i) for i in neighbors if i != point)
+        enqueued[point] = True
+        queue = deque()
+        for i in neighbors:
+            if not enqueued[i]:
+                enqueued[i] = True
+                queue.append(int(i))
         while queue:
             candidate = queue.popleft()
             if labels[candidate] == NOISE:
@@ -124,11 +139,10 @@ def dbscan_labels(
             visited[candidate] = True
             candidate_neighbors = search.radius_neighbors(candidate, eps)
             if len(candidate_neighbors) >= min_samples:
-                queue.extend(
-                    int(i)
-                    for i in candidate_neighbors
-                    if not visited[i] or labels[i] == NOISE
-                )
+                for i in candidate_neighbors:
+                    if not enqueued[i]:
+                        enqueued[i] = True
+                        queue.append(int(i))
         next_label += 1
 
     return labels

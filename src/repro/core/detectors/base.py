@@ -47,5 +47,17 @@ class Detector(ABC):
         deterministic: equal inputs yield equal findings in equal order.
         """
 
+    def partition(self) -> list["Detector"]:
+        """Split this detector into independent work units.
+
+        The engine's parallel path runs each unit in its own worker and
+        concatenates their findings *in partition order*, so the contract
+        is: ``sum(part.detect(ctx) for part in d.partition(), [])`` must
+        equal ``d.detect(ctx)`` exactly.  The default is the detector
+        itself (one unit); axis-wise detectors override this to expose
+        one unit per axis.
+        """
+        return [self]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -53,6 +53,15 @@ class DuplicateRolesDetector(Detector):
             findings.extend(self._detect_axis(matrix, axis))
         return findings
 
+    def partition(self) -> list["DuplicateRolesDetector"]:
+        """One independent work unit per analysed axis."""
+        if len(self._axes) <= 1:
+            return [self]
+        return [
+            DuplicateRolesDetector(finder=self._finder, axes=(axis,))
+            for axis in self._axes
+        ]
+
     def _detect_axis(
         self, matrix: AssignmentMatrix, axis: Axis
     ) -> list[Finding]:

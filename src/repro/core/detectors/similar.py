@@ -76,6 +76,20 @@ class SimilarRolesDetector(Detector):
             findings.extend(self._detect_axis(matrix, axis))
         return findings
 
+    def partition(self) -> list["SimilarRolesDetector"]:
+        """One independent work unit per analysed axis."""
+        if len(self._axes) <= 1:
+            return [self]
+        return [
+            SimilarRolesDetector(
+                max_differences=self._max_differences,
+                finder=self._finder,
+                axes=(axis,),
+                collapse_duplicates=self._collapse_duplicates,
+            )
+            for axis in self._axes
+        ]
+
     def _detect_axis(
         self, matrix: AssignmentMatrix, axis: Axis
     ) -> list[Finding]:

@@ -5,6 +5,16 @@ enabled inefficiency type (sharing a single group-finder configuration for
 types 4 and 5), runs them over a shared :class:`AnalysisContext`, and
 collects findings plus per-detector wall-clock timings into a
 :class:`~repro.core.report.Report`.
+
+Parallel execution
+------------------
+With ``n_workers > 1`` the engine partitions the detector list into
+independent (detector, axis) work items (see ``Detector.partition``) and
+fans them out over a :class:`repro.parallel.ParallelExecutor` process
+pool.  RUAM/RPAM are built once in the parent and shipped to each worker
+during pool initialisation.  Findings are concatenated in partition
+order, which equals serial detection order, so the report — findings,
+ordering, and ``counts()`` — is identical for every worker count.
 """
 
 from __future__ import annotations
@@ -61,6 +71,14 @@ class AnalysisConfig:
         Axes analysed by types 4-5; both by default.
     collapse_duplicates:
         Whether type 5 collapses exact duplicates before grouping.
+    n_workers:
+        Worker processes for detection: ``1`` (default) runs every
+        detector serially in-process; ``None`` uses every core.  The
+        report is identical for every value.
+    block_rows:
+        Row-block size for the co-occurrence finder's blocked product
+        (``None`` = one monolithic block).  Forwarded to the finder when
+        ``finder == "cooccurrence"``; ignored otherwise.
     """
 
     enabled_types: tuple[InefficiencyType, ...] = ALL_TYPES
@@ -69,6 +87,8 @@ class AnalysisConfig:
     similarity_threshold: int = 1
     axes: tuple[Axis, ...] = (Axis.USERS, Axis.PERMISSIONS)
     collapse_duplicates: bool = True
+    n_workers: int | None = 1
+    block_rows: int | None = None
 
     @classmethod
     def with_extensions(cls, **kwargs) -> "AnalysisConfig":
@@ -88,6 +108,14 @@ class AnalysisConfig:
         ]
         if unknown:
             raise ConfigurationError(f"not inefficiency types: {unknown!r}")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 or None, got {self.n_workers}"
+            )
+        if self.block_rows is not None and self.block_rows < 1:
+            raise ConfigurationError(
+                f"block_rows must be >= 1 or None, got {self.block_rows}"
+            )
 
 
 class AnalysisEngine:
@@ -101,6 +129,11 @@ class AnalysisEngine:
     def _build_detectors(config: AnalysisConfig) -> list[Detector]:
         from repro.core.grouping import make_group_finder
 
+        finder_options = dict(config.finder_options)
+        if config.finder == "cooccurrence" and config.block_rows is not None:
+            # Explicit finder_options win over the engine-level knob.
+            finder_options.setdefault("block_rows", config.block_rows)
+
         detectors: list[Detector] = []
         enabled = set(config.enabled_types)
         if InefficiencyType.STANDALONE_NODE in enabled:
@@ -112,9 +145,7 @@ class AnalysisEngine:
         if InefficiencyType.DUPLICATE_ROLES in enabled:
             detectors.append(
                 DuplicateRolesDetector(
-                    finder=make_group_finder(
-                        config.finder, **config.finder_options
-                    ),
+                    finder=make_group_finder(config.finder, **finder_options),
                     axes=config.axes,
                 )
             )
@@ -122,9 +153,7 @@ class AnalysisEngine:
             detectors.append(
                 SimilarRolesDetector(
                     max_differences=config.similarity_threshold,
-                    finder=make_group_finder(
-                        config.finder, **config.finder_options
-                    ),
+                    finder=make_group_finder(config.finder, **finder_options),
                     axes=config.axes,
                     collapse_duplicates=config.collapse_duplicates,
                 )
@@ -147,22 +176,30 @@ class AnalysisEngine:
         are never applied automatically (§III-A: every instance must be
         reviewed by an administrator).
         """
+        from repro.parallel import resolve_workers
+
         context = AnalysisContext(state)
-        findings = []
+        findings: list = []
         timings: dict[str, float] = {}
         total_start = time.perf_counter()
         # Build RUAM/RPAM up front so matrix-construction cost is
         # attributed to its own timing bucket rather than to whichever
         # detector happens to run first (the paper computes the matrices
-        # once and reuses them across all inefficiency types).
+        # once and reuses them across all inefficiency types).  The
+        # parallel path additionally relies on this: the matrices are
+        # built once here and shipped to every worker.
         build_start = time.perf_counter()
         context.ruam
         context.rpam
         timings["matrix_build"] = time.perf_counter() - build_start
-        for detector in self._detectors:
-            start = time.perf_counter()
-            findings.extend(detector.detect(context))
-            timings[detector.name] = time.perf_counter() - start
+        n_workers = resolve_workers(self.config.n_workers)
+        if n_workers > 1:
+            self._detect_parallel(context, n_workers, findings, timings)
+        else:
+            for detector in self._detectors:
+                start = time.perf_counter()
+                findings.extend(detector.detect(context))
+                timings[detector.name] = time.perf_counter() - start
         total = time.perf_counter() - total_start
         return Report(
             state=state,
@@ -171,6 +208,56 @@ class AnalysisEngine:
             total_seconds=total,
             config=self.config,
         )
+
+    def _detect_parallel(
+        self,
+        context: AnalysisContext,
+        n_workers: int,
+        findings: list,
+        timings: dict[str, float],
+    ) -> None:
+        """Fan independent (detector, axis) work items across workers.
+
+        Results are merged in partition order — which equals serial
+        detection order — so findings and counts match the serial engine
+        exactly; per-detector timings are the summed worker-side
+        durations of that detector's items.
+        """
+        from repro.parallel import ParallelExecutor
+
+        items: list[tuple[str, Detector]] = [
+            (detector.name, part)
+            for detector in self._detectors
+            for part in detector.partition()
+        ]
+        executor = ParallelExecutor(
+            n_workers,
+            initializer=_init_detection_worker,
+            initargs=(context,),
+        )
+        results = executor.map(_detect_one, [part for _, part in items])
+        for (name, _), (part_findings, seconds) in zip(items, results):
+            findings.extend(part_findings)
+            timings[name] = timings.get(name, 0.0) + seconds
+
+
+#: Per-worker shared analysis context, installed by pool initialisation
+#: (or once in-process on the serial fallback path).
+_WORKER_CONTEXT: AnalysisContext | None = None
+
+
+def _init_detection_worker(context: AnalysisContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _detect_one(detector: Detector) -> tuple[list, float]:
+    """Process-pool task: run one detection work item, return findings
+    plus the worker-side wall-clock it took."""
+    assert _WORKER_CONTEXT is not None
+    start = time.perf_counter()
+    found = detector.detect(_WORKER_CONTEXT)
+    return found, time.perf_counter() - start
 
 
 def analyze(

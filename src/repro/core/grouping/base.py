@@ -64,13 +64,25 @@ class GroupFinder(ABC):
 
     @staticmethod
     def _csr_of(matrix: Any) -> sp.csr_matrix:
-        """Coerce any accepted input into an int64 CSR matrix."""
+        """Coerce any accepted input into an int64 CSR matrix.
+
+        The dtype is enforced on every path: a bool/int8 CSR would make
+        ``csr @ csr.T`` in the co-occurrence finder saturate or overflow
+        shared-user counts past 127 (numpy products keep the operand
+        dtype), silently corrupting group detection.
+        """
+        import numpy as np
+
         from repro.bitmatrix import to_csr
 
         csr_attr = getattr(matrix, "csr", None)
         if csr_attr is not None and getattr(matrix, "row_ids", None) is not None:
-            return csr_attr  # AssignmentMatrix
-        return to_csr(matrix)
+            csr = csr_attr  # AssignmentMatrix (or a duck-typed wrapper)
+        else:
+            csr = to_csr(matrix)
+        if csr.dtype != np.int64:
+            csr = csr.astype(np.int64)
+        return csr
 
     @staticmethod
     def _check_threshold(max_differences: int) -> int:

@@ -16,21 +16,121 @@ is what makes the algorithm fast: for realistic RBAC data, most role pairs
 share no users at all and never appear in ``C``.  Pairs with no overlap
 are only relevant when ``|R^i| + |R^j| <= k`` (tiny roles), handled by a
 separate linear pass.  The result is exact and fully deterministic.
+
+Blocked kernel
+--------------
+``C`` is never materialised whole.  The product is computed one row
+block at a time — ``C[start:stop] = M[start:stop] @ Mᵀ`` — and each
+block is immediately reduced to its *matching pairs* ``(i, j)`` before
+the next block is formed, so peak memory is bounded by the densest
+single block (``O(block_rows · r)`` stored entries worst case) instead
+of ``nnz(C)``.  Blocks are independent, which is what lets
+``n_workers > 1`` fan them out across a process pool; the union-find
+reduction is order-insensitive, so the groups are identical for every
+``block_rows`` and worker count.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
+import numpy.typing as npt
+import scipy.sparse as sp
 
 from repro.core.grouping.base import GroupFinder, register_group_finder
+from repro.exceptions import ConfigurationError
+from repro.parallel import ParallelExecutor, resolve_workers
 from repro.util import DisjointSet
+
+#: Read-only per-worker state installed by :func:`_init_block_worker`
+#: (shipped once per worker, not once per block).
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_block_worker(
+    csr: sp.csr_matrix,
+    csr_t: sp.csr_matrix,
+    norms: npt.NDArray[np.int64],
+    k: int,
+) -> None:
+    _WORKER_STATE["csr"] = csr
+    _WORKER_STATE["csr_t"] = csr_t
+    _WORKER_STATE["norms"] = norms
+    _WORKER_STATE["k"] = k
+
+
+def _block_matching_pairs(
+    csr: sp.csr_matrix,
+    csr_t: sp.csr_matrix,
+    norms: npt.NDArray[np.int64],
+    k: int,
+    start: int,
+    stop: int,
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    """Matching role pairs ``(i, j)``, ``i < j``, found in one row block.
+
+    Computes ``M[start:stop] @ Mᵀ`` and applies the duplicate/similarity
+    criterion to its stored entries; the (small) matched-pair arrays are
+    all that survives the block.
+    """
+    product = (csr[start:stop] @ csr_t).tocoo()
+    rows = product.row.astype(np.int64) + start
+    cols = product.col.astype(np.int64)
+    shared = product.data
+
+    # Only consider each unordered pair once.
+    upper = rows < cols
+    rows, cols, shared = rows[upper], cols[upper], shared[upper]
+
+    if k == 0:
+        # I[i, j] = 1 iff |R^i| = g^{ij} = |R^j|.
+        mask = (shared == norms[rows]) & (shared == norms[cols])
+    else:
+        # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij} <= k.
+        mask = (norms[rows] + norms[cols] - 2 * shared) <= k
+    return rows[mask], cols[mask]
+
+
+def _pairs_of_block(bounds: tuple[int, int]) -> tuple[
+    npt.NDArray[np.int64], npt.NDArray[np.int64]
+]:
+    """Process-pool task: block bounds in, matched pairs out."""
+    return _block_matching_pairs(
+        _WORKER_STATE["csr"],
+        _WORKER_STATE["csr_t"],
+        _WORKER_STATE["norms"],
+        _WORKER_STATE["k"],
+        *bounds,
+    )
 
 
 @register_group_finder("cooccurrence")
 class CooccurrenceGroupFinder(GroupFinder):
-    """Exact, deterministic group finder via sparse co-occurrence counts."""
+    """Exact, deterministic group finder via sparse co-occurrence counts.
+
+    Parameters
+    ----------
+    block_rows:
+        Rows of ``M`` per product block.  ``None`` (the default) computes
+        the whole product in a single block — the original monolithic
+        behaviour; any value >= 1 bounds peak memory at the cost of one
+        sparse product per block.  Output is identical for every value.
+    n_workers:
+        Worker processes for the blocked product (``None`` = all cores).
+        With one worker, or a single block, everything runs in-process.
+        Output is identical for every worker count.
+    """
+
+    def __init__(
+        self, block_rows: int | None = None, n_workers: int | None = 1
+    ) -> None:
+        if block_rows is not None and block_rows < 1:
+            raise ConfigurationError(
+                f"block_rows must be >= 1, got {block_rows}"
+            )
+        self._block_rows = block_rows
+        self._n_workers = resolve_workers(n_workers)
 
     def find_groups(
         self, matrix: Any, max_differences: int = 0
@@ -44,27 +144,43 @@ class CooccurrenceGroupFinder(GroupFinder):
         norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
         components = DisjointSet(n_rows)
 
-        cooc = (csr @ csr.T).tocoo()
-        row = cooc.row
-        col = cooc.col
-        shared = cooc.data
-
-        # Only consider each unordered pair once.
-        upper = row < col
-        row, col, shared = row[upper], col[upper], shared[upper]
-
-        if k == 0:
-            # I[i, j] = 1 iff |R^i| = g^{ij} = |R^j|.
-            mask = (shared == norms[row]) & (shared == norms[col])
-        else:
-            # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij} <= k.
-            mask = (norms[row] + norms[col] - 2 * shared) <= k
-
-        for i, j in zip(row[mask].tolist(), col[mask].tolist()):
-            components.union(i, j)
+        for rows, cols in self._matching_pairs(csr, norms, k):
+            for i, j in zip(rows.tolist(), cols.tolist()):
+                components.union(i, j)
 
         self._union_non_overlapping(components, norms, k)
         return components.groups(min_size=2)
+
+    def _matching_pairs(
+        self,
+        csr: sp.csr_matrix,
+        norms: npt.NDArray[np.int64],
+        k: int,
+    ) -> Iterable[tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]]:
+        """Matched pairs per block, blocked/parallel as configured."""
+        n_rows = csr.shape[0]
+        block_rows = self._block_rows or n_rows
+        bounds = [
+            (start, min(start + block_rows, n_rows))
+            for start in range(0, n_rows, block_rows)
+        ]
+        # M and Mᵀ are both kept in CSR so every block product is a
+        # CSR @ CSR multiply (scipy would otherwise re-convert the lazy
+        # transpose view once per block).
+        csr_t = csr.T.tocsr()
+        if self._n_workers > 1 and len(bounds) > 1:
+            executor = ParallelExecutor(
+                self._n_workers,
+                initializer=_init_block_worker,
+                initargs=(csr, csr_t, norms, k),
+            )
+            return executor.map(_pairs_of_block, bounds)
+        # Serial: yield lazily so only one block product is alive at a
+        # time — this is what bounds peak memory.
+        return (
+            _block_matching_pairs(csr, csr_t, norms, k, start, stop)
+            for start, stop in bounds
+        )
 
     @staticmethod
     def _union_non_overlapping(

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.cluster import DBSCAN, labels_to_groups
 from repro.core.grouping.base import GroupFinder, register_group_finder
+from repro.exceptions import ConfigurationError
 
 #: Float-comparison guard added to the integer threshold (paper §III-D).
 EPSILON = 1e-6
@@ -36,7 +37,7 @@ class DbscanGroupFinder(GroupFinder):
 
     def __init__(self, backend: str = "hamming") -> None:
         if backend not in ("hamming", "bitpacked-hamming"):
-            raise ValueError(f"unsupported backend: {backend!r}")
+            raise ConfigurationError(f"unsupported backend: {backend!r}")
         self._backend = backend
 
     def find_groups(

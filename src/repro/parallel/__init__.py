@@ -1,0 +1,10 @@
+"""Parallel execution substrate shared by the grouping kernels and the
+analysis engine.
+
+See :mod:`repro.parallel.executor` for the execution model and the
+determinism contract.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_workers
+
+__all__ = ["ParallelExecutor", "resolve_workers"]

@@ -1,0 +1,115 @@
+"""Process-pool executor with a serial in-process fallback.
+
+The scalability layer of the reproduction: the blocked co-occurrence
+kernel fans matrix blocks out across workers, and the analysis engine
+fans independent (detector, axis) work items the same way.  Both call
+sites share one abstraction, :class:`ParallelExecutor`, which
+
+* preserves input order (``map`` semantics, never completion order);
+* runs serially in-process when one worker is requested, when there is
+  at most one item, or when a process pool cannot be created or used
+  (sandboxes without ``fork``/semaphores, unpicklable payloads) — the
+  result is always identical, parallelism is purely an optimisation;
+* supports a per-worker ``initializer`` so large read-only state (a CSR
+  matrix, an analysis context) is shipped once per worker instead of
+  once per task.
+
+Determinism contract: given pure task functions, ``map`` returns exactly
+what the serial loop ``[fn(item) for item in items]`` returns, in the
+same order, for every worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Normalise a worker-count option.
+
+    ``None`` means "use every core" (``os.cpu_count()``); any explicit
+    value must be >= 1.
+    """
+    if n_workers is None:
+        return max(1, os.cpu_count() or 1)
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+class ParallelExecutor:
+    """Order-preserving map over a process pool, or serially in-process.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes to use.  ``1`` (the default) never creates a
+        pool; ``None`` uses every available core.
+    initializer / initargs:
+        Optional per-worker initialisation, exactly as in
+        :class:`concurrent.futures.ProcessPoolExecutor`.  The serial
+        path calls it once in-process before mapping, so task functions
+        can rely on it unconditionally.
+    chunksize:
+        Tasks handed to a worker per round-trip (forwarded to
+        ``ProcessPoolExecutor.map``).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = 1,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        chunksize: int = 1,
+    ) -> None:
+        self.n_workers = resolve_workers(n_workers)
+        if chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        self._initializer = initializer
+        self._initargs = initargs
+        self._chunksize = int(chunksize)
+        #: Why the last ``map`` call ran serially instead of in a pool
+        #: (``None`` if it ran in a pool or serial was requested).
+        self.last_fallback_reason: str | None = None
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        tasks: Sequence[Any] = list(items)
+        self.last_fallback_reason = None
+        if self.n_workers <= 1 or len(tasks) <= 1:
+            return self._map_serial(fn, tasks)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(tasks)),
+                initializer=self._initializer,
+                initargs=self._initargs,
+            ) as pool:
+                return list(pool.map(fn, tasks, chunksize=self._chunksize))
+        except (
+            BrokenProcessPool,
+            pickle.PicklingError,
+            AttributeError,  # unpicklable closures/lambdas raise this
+            OSError,  # no fork / no semaphores in restricted sandboxes
+            PermissionError,
+        ) as error:
+            # Task functions are required to be pure, so re-running the
+            # whole batch serially is safe and yields identical results.
+            self.last_fallback_reason = f"{type(error).__name__}: {error}"
+            return self._map_serial(fn, tasks)
+
+    def _map_serial(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> list[Any]:
+        if self._initializer is not None:
+            self._initializer(*self._initargs)
+        return [fn(task) for task in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_workers={self.n_workers})"

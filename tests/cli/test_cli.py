@@ -54,6 +54,38 @@ class TestAnalyze:
         save_csv(paper_example, tmp_path / "csvdir")
         assert main(["analyze", str(tmp_path / "csvdir")]) == 0
 
+    def test_workers_and_block_rows_flags(self, dataset_path, capsys):
+        serial = main(
+            ["analyze", str(dataset_path), "--format", "json"]
+        )
+        serial_counts = json.loads(capsys.readouterr().out)["counts"]
+        assert serial == 0
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(dataset_path),
+                    "--workers",
+                    "2",
+                    "--block-rows",
+                    "2",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        parallel_counts = json.loads(capsys.readouterr().out)["counts"]
+        assert parallel_counts == serial_counts
+
+    def test_workers_zero_means_all_cores(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--workers", "0"]) == 0
+        assert "RBAC inefficiency report" in capsys.readouterr().out
+
+    def test_invalid_block_rows_is_cli_error(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--block-rows", "0"]) == 1
+        assert "block_rows" in capsys.readouterr().err
+
 
 class TestGenerate:
     def test_org_json(self, tmp_path, capsys):

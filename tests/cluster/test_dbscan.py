@@ -142,3 +142,70 @@ class TestLabelsToGroups:
 
     def test_empty(self):
         assert labels_to_groups(np.array([], dtype=np.intp)) == []
+
+
+from repro.cluster.neighbors import NeighborSearch
+
+
+class CountingSearch(NeighborSearch):
+    """NeighborSearch wrapper that records every radius query.
+
+    Implements the :class:`~repro.cluster.neighbors.NeighborSearch`
+    interface so it can be handed straight to ``fit_predict`` /
+    ``dbscan_labels``.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.queried: list[int] = []
+
+    @property
+    def n_points(self) -> int:
+        return self._inner.n_points
+
+    def radius_neighbors(self, index, eps):
+        self.queried.append(int(index))
+        return self._inner.radius_neighbors(index, eps)
+
+
+class TestQueryEfficiency:
+    """Regression for the expansion-queue blow-up.
+
+    Each core expansion used to re-enqueue every not-yet-visited
+    neighbour, so a dense cluster's queue held O(n^2) duplicate entries.
+    The enqueued-mask fix bounds enqueues — and therefore
+    ``radius_neighbors`` work — at one per point; these tests pin that
+    via a counting search wrapper.
+    """
+
+    def _counting_search(self, data):
+        from repro.cluster.neighbors import BruteForceSearch
+
+        return CountingSearch(BruteForceSearch(data, metric="hamming"))
+
+    def test_dense_cluster_queries_each_point_once(self):
+        # 50 identical rows: one all-connected cluster, the worst case
+        # for duplicate enqueues.
+        data = np.tile(np.array([1, 0, 1, 0], dtype=bool), (50, 1))
+        search = self._counting_search(data)
+        labels = DBSCAN(eps=1e-6, min_samples=2).fit_predict(search)
+        assert all(label == labels[0] != NOISE for label in labels)
+        assert sorted(search.queried) == list(range(50))  # once each, all 50
+
+    def test_mixed_data_never_requeries(self):
+        rng = np.random.default_rng(17)
+        data = rng.random((80, 12)) < 0.3
+        data[3] = data[60]
+        data[4] = data[60]
+        search = self._counting_search(data)
+        DBSCAN(eps=1 + 1e-6, min_samples=2).fit_predict(search)
+        assert len(search.queried) == len(set(search.queried))
+        assert len(search.queried) <= 80
+
+    def test_labels_unchanged_by_enqueue_mask(self):
+        rng = np.random.default_rng(23)
+        data = rng.random((60, 10)) < 0.35
+        search = self._counting_search(data)
+        wrapped = DBSCAN(eps=1 + 1e-6, min_samples=2).fit_predict(search)
+        direct = DBSCAN(eps=1 + 1e-6, min_samples=2).fit_predict(data)
+        assert np.array_equal(wrapped, direct)

@@ -189,6 +189,91 @@ class TestCooccurrenceEdgeCases:
             )
 
 
+class TestBlockedCooccurrence:
+    """The row-blocked kernel must reproduce the monolithic product."""
+
+    def _random_matrix(self, seed: int = 7, shape=(23, 15), density=0.2):
+        rng = np.random.default_rng(seed)
+        data = rng.random(shape) < density
+        data[4] = data[19]  # guarantee at least one duplicate pair
+        return data
+
+    @pytest.mark.parametrize("block_rows", [1, 2, 3, 8, 23, 1000])
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_blocked_equals_monolithic(self, block_rows, k):
+        data = self._random_matrix()
+        monolithic = CooccurrenceGroupFinder().find_groups(data, k)
+        blocked = CooccurrenceGroupFinder(block_rows=block_rows).find_groups(
+            data, k
+        )
+        assert blocked == monolithic
+
+    @pytest.mark.parametrize("block_rows", [1, 5, 1000])
+    def test_parallel_blocked_equals_monolithic(self, block_rows):
+        data = self._random_matrix(seed=11)
+        for k in (0, 1, 2):
+            monolithic = CooccurrenceGroupFinder().find_groups(data, k)
+            parallel = CooccurrenceGroupFinder(
+                block_rows=block_rows, n_workers=2
+            ).find_groups(data, k)
+            assert parallel == monolithic
+
+    def test_invalid_block_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="block_rows"):
+            CooccurrenceGroupFinder(block_rows=0)
+
+    def test_invalid_n_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            CooccurrenceGroupFinder(n_workers=0)
+
+    def test_factory_forwards_options(self):
+        finder = make_group_finder("cooccurrence", block_rows=4, n_workers=2)
+        assert finder._block_rows == 4
+        assert finder._n_workers == 2
+
+
+class TestCsrDtypeEnforcement:
+    """``_csr_of`` must hand the kernel int64 data on every input path.
+
+    A narrow dtype is the regression trap: with bool/int8 data the
+    co-occurrence product ``csr @ csr.T`` saturates (bool) or wraps
+    (int8) once two roles share more than 127 users, corrupting both the
+    duplicate indicator and the Hamming identity.
+    """
+
+    class _CsrWrapper:
+        """Duck-typed AssignmentMatrix-like carrier of a raw CSR."""
+
+        def __init__(self, csr):
+            self.csr = csr
+            self.row_ids = [f"r{i}" for i in range(csr.shape[0])]
+
+    def test_bool_csr_attribute_is_widened(self):
+        from repro.core.grouping.base import GroupFinder
+
+        dense = np.ones((3, 200), dtype=bool)
+        wrapper = self._CsrWrapper(sp.csr_matrix(dense))
+        csr = GroupFinder._csr_of(wrapper)
+        assert csr.dtype == np.int64
+
+    @pytest.mark.parametrize("dtype", [bool, np.int8])
+    def test_overlap_past_127_detected(self, dtype):
+        # Two identical rows sharing 200 > 127 columns, one distinct row.
+        dense = np.zeros((3, 220), dtype=bool)
+        dense[0, :200] = True
+        dense[1, :200] = True
+        dense[2, 10:215] = True
+        wrapper = self._CsrWrapper(sp.csr_matrix(dense.astype(dtype)))
+        assert CooccurrenceGroupFinder().find_groups(wrapper, 0) == [[0, 1]]
+
+    def test_narrow_sparse_input_widened_too(self):
+        dense = np.ones((2, 300), dtype=bool)
+        groups = CooccurrenceGroupFinder().find_groups(
+            sp.csr_matrix(dense.astype(np.int8)), 0
+        )
+        assert groups == [[0, 1]]
+
+
 class TestHashFinderRestrictions:
     def test_similarity_unsupported(self):
         with pytest.raises(ConfigurationError, match="max_differences=0"):
@@ -207,5 +292,13 @@ class TestDbscanBackends:
         assert default == packed
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError):
+        # ConfigurationError, like every other invalid-parameter error in
+        # the stack (engine, DBSCAN, the finder registry).
+        with pytest.raises(ConfigurationError, match="unsupported backend"):
+            DbscanGroupFinder(backend="gpu")
+
+    def test_unknown_backend_error_is_catchable_as_repro_error(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
             DbscanGroupFinder(backend="gpu")

@@ -24,6 +24,36 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             AnalysisConfig(enabled_types=("duplicates",))  # type: ignore[arg-type]
 
+    def test_parallel_defaults(self):
+        config = AnalysisConfig()
+        assert config.n_workers == 1
+        assert config.block_rows is None
+
+    def test_invalid_n_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            AnalysisConfig(n_workers=0)
+
+    def test_invalid_block_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="block_rows"):
+            AnalysisConfig(block_rows=-1)
+
+    def test_block_rows_forwarded_to_cooccurrence_finder(self):
+        engine = AnalysisEngine(AnalysisConfig(block_rows=7))
+        by_name = {d.name: d for d in engine.detectors}
+        assert by_name["duplicate_roles"]._finder._block_rows == 7
+        assert by_name["similar_roles"]._finder._block_rows == 7
+
+    def test_explicit_finder_options_win_over_block_rows(self):
+        engine = AnalysisEngine(
+            AnalysisConfig(block_rows=7, finder_options={"block_rows": 3})
+        )
+        by_name = {d.name: d for d in engine.detectors}
+        assert by_name["duplicate_roles"]._finder._block_rows == 3
+
+    def test_block_rows_ignored_for_other_finders(self):
+        engine = AnalysisEngine(AnalysisConfig(finder="dbscan", block_rows=7))
+        assert [d.name for d in engine.detectors]  # builds without error
+
 
 class TestEngine:
     def test_all_detectors_built_by_default(self):

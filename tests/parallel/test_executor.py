@@ -1,0 +1,92 @@
+"""Unit tests for the process-pool executor and its serial fallback."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import ParallelExecutor, resolve_workers
+
+_INIT_STATE: dict[str, int] = {}
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _install_offset(offset: int) -> None:
+    _INIT_STATE["offset"] = offset
+
+
+def _add_offset(x: int) -> int:
+    return x + _INIT_STATE["offset"]
+
+
+class TestResolveWorkers:
+    def test_default_passthrough(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+
+    def test_none_means_all_cores(self):
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-2)
+
+
+class TestSerialPath:
+    def test_single_worker_maps_in_order(self):
+        executor = ParallelExecutor(n_workers=1)
+        assert executor.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+        assert executor.last_fallback_reason is None
+
+    def test_single_item_stays_in_process(self):
+        # Closures are unpicklable; a pool would choke on them, but one
+        # item never leaves the process.
+        state = []
+        executor = ParallelExecutor(n_workers=8)
+        assert executor.map(lambda x: state.append(x) or x, [42]) == [42]
+        assert state == [42]
+
+    def test_initializer_runs_in_process(self):
+        executor = ParallelExecutor(
+            n_workers=1, initializer=_install_offset, initargs=(100,)
+        )
+        assert executor.map(_add_offset, [1, 2]) == [101, 102]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(n_workers=4).map(_square, []) == []
+
+
+class TestPoolPath:
+    def test_results_in_input_order(self):
+        executor = ParallelExecutor(n_workers=2)
+        assert executor.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_initializer_ships_state_to_workers(self):
+        executor = ParallelExecutor(
+            n_workers=2, initializer=_install_offset, initargs=(7,)
+        )
+        assert executor.map(_add_offset, [0, 1, 2, 3]) == [7, 8, 9, 10]
+
+    def test_unpicklable_fn_falls_back_serially(self):
+        executor = ParallelExecutor(n_workers=2)
+        doubled = executor.map(lambda x: 2 * x, [1, 2, 3])
+        assert doubled == [2, 4, 6]
+        assert executor.last_fallback_reason is not None
+
+    def test_matches_serial_exactly(self):
+        serial = ParallelExecutor(n_workers=1).map(_square, range(25))
+        parallel = ParallelExecutor(n_workers=3).map(_square, range(25))
+        assert serial == parallel
+
+
+class TestValidation:
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(n_workers=2, chunksize=0)

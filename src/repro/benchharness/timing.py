@@ -9,9 +9,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Recorder
 
 
 @dataclass(frozen=True)
@@ -54,19 +57,37 @@ class TimingStats:
 
 
 def time_call(
-    fn: Callable[[], Any], repeats: int = 5
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    recorder: "Recorder | None" = None,
 ) -> tuple[TimingStats, Any]:
     """Call ``fn`` ``repeats`` times; return (stats, last result).
 
     Uses ``time.perf_counter``.  The callable should be self-contained:
     any setup that must not be timed belongs outside it.
+
+    With a ``recorder`` (see :mod:`repro.obs`), each repetition runs
+    inside a ``bench.run`` span installed as the current recorder, so
+    any instrumented code under measurement (the engine, the kernels)
+    contributes its spans and counters to the same trace schema the
+    analysis pipeline emits; the reported durations are then exactly
+    the span durations.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     durations = []
     result: Any = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        durations.append(time.perf_counter() - start)
+    if recorder is None:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            durations.append(time.perf_counter() - start)
+    else:
+        from repro.obs import use_recorder
+
+        with use_recorder(recorder):
+            for repeat in range(repeats):
+                with recorder.span("bench.run", repeat=repeat) as span:
+                    result = fn()
+                durations.append(span.duration)
     return TimingStats(tuple(durations)), result

@@ -123,6 +123,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20,
         help="findings shown in text output",
     )
+    analyze_parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="log per-span records via stdlib logging at this level "
+        "(default: no logging)",
+    )
+    analyze_parser.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="write the run's trace as JSON Lines "
+        "(schema: docs/OBSERVABILITY.md)",
+    )
+    analyze_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        default=None,
+        help="write the run's metrics (counter totals, timings, worker "
+        "breakdown) as JSON; also enables per-block tracemalloc "
+        "peak-memory counters",
+    )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     generate_parser = sub.add_parser(
@@ -296,6 +318,34 @@ def _save_dataset(state: RbacState, path_text: str, as_csv: bool) -> None:
 # ----------------------------------------------------------------------
 # Subcommand handlers
 # ----------------------------------------------------------------------
+def _build_recorder(args: argparse.Namespace):
+    """Recorder + closeable sinks for the ``analyze`` observability flags.
+
+    Returns ``(recorder, trace_sink)`` — both ``None`` when no flag asks
+    for observability (the engine then uses its own sink-less recorder).
+    """
+    from repro.obs import JsonlTraceSink, LoggingSink, Recorder
+
+    sinks = []
+    trace_sink = None
+    if args.log_level:
+        import logging
+
+        level = getattr(logging, args.log_level.upper())
+        # The CLI owns process-wide logging configuration; library code
+        # never touches handlers (enforced by the CI logging lint).
+        logging.basicConfig(
+            level=level, format="%(asctime)s %(name)s %(message)s"
+        )
+        sinks.append(LoggingSink(level=level))
+    if args.trace_out:
+        trace_sink = JsonlTraceSink(args.trace_out)
+        sinks.append(trace_sink)
+    if not sinks and not args.metrics_out:
+        return None, None
+    return Recorder(sinks=sinks, measure_memory=bool(args.metrics_out)), trace_sink
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     state = _load_dataset(args.dataset)
     if args.hierarchy:
@@ -312,7 +362,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         config = AnalysisConfig.with_extensions(**options)
     else:
         config = AnalysisConfig(**options)
-    report = analyze(state, config)
+    recorder, trace_sink = _build_recorder(args)
+    try:
+        report = analyze(state, config, recorder=recorder)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    if args.metrics_out:
+        import json
+
+        payload = dict(report.metrics)
+        payload["timings_seconds"] = dict(report.timings)
+        payload["total_seconds"] = report.total_seconds
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     if args.format == "json":
         print(report.to_json())
     elif args.format == "markdown":

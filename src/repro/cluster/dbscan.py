@@ -31,6 +31,7 @@ from repro.cluster.neighbors import (
     NeighborSearch,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs import current_recorder
 
 #: Label used for noise points, matching scikit-learn's convention.
 NOISE = -1
@@ -109,41 +110,66 @@ def dbscan_labels(
     pop/requeue work are quadratic.  With the mask both the queue and the
     number of ``radius_neighbors`` queries are bounded by ``n``
     (``tests/cluster/test_dbscan.py::TestQueryEfficiency`` pins this).
+
+    Observability: the run is wrapped in a ``dbscan.fit`` span, with one
+    ``dbscan.expand`` child span per discovered cluster.  Neighbour
+    queries are counted where they happen (seed queries on the fit span,
+    expansion queries on the expansion span), so subtree totals equal
+    total queries without double counting.  Under the default null
+    recorder all of this is a no-op.
     """
+    recorder = current_recorder()
     n = search.n_points
     labels = np.full(n, NOISE, dtype=np.intp)
     visited = np.zeros(n, dtype=bool)
     enqueued = np.zeros(n, dtype=bool)
     next_label = 0
 
-    for point in range(n):
-        if visited[point]:
-            continue
-        visited[point] = True
-        neighbors = search.radius_neighbors(point, eps)
-        if len(neighbors) < min_samples:
-            continue  # noise unless later absorbed as a border point
-        labels[point] = next_label
-        enqueued[point] = True
-        queue = deque()
-        for i in neighbors:
-            if not enqueued[i]:
-                enqueued[i] = True
-                queue.append(int(i))
-        while queue:
-            candidate = queue.popleft()
-            if labels[candidate] == NOISE:
-                labels[candidate] = next_label  # border or core, joins cluster
-            if visited[candidate]:
+    with recorder.span(
+        "dbscan.fit", eps=float(eps), min_samples=int(min_samples)
+    ) as fit_span:
+        fit_span.add("dbscan.points", int(n))
+        for point in range(n):
+            if visited[point]:
                 continue
-            visited[candidate] = True
-            candidate_neighbors = search.radius_neighbors(candidate, eps)
-            if len(candidate_neighbors) >= min_samples:
-                for i in candidate_neighbors:
+            visited[point] = True
+            neighbors = search.radius_neighbors(point, eps)
+            fit_span.add("dbscan.seed_queries")
+            if len(neighbors) < min_samples:
+                continue  # noise unless later absorbed as a border point
+            with recorder.span(
+                "dbscan.expand", label=int(next_label)
+            ) as expand_span:
+                members = 1
+                labels[point] = next_label
+                enqueued[point] = True
+                queue = deque()
+                for i in neighbors:
                     if not enqueued[i]:
                         enqueued[i] = True
                         queue.append(int(i))
-        next_label += 1
+                while queue:
+                    candidate = queue.popleft()
+                    if labels[candidate] == NOISE:
+                        # Border or core, joins the cluster.
+                        labels[candidate] = next_label
+                        members += 1
+                    if visited[candidate]:
+                        continue
+                    visited[candidate] = True
+                    candidate_neighbors = search.radius_neighbors(
+                        candidate, eps
+                    )
+                    expand_span.add("dbscan.expand_queries")
+                    if len(candidate_neighbors) >= min_samples:
+                        for i in candidate_neighbors:
+                            if not enqueued[i]:
+                                enqueued[i] = True
+                                queue.append(int(i))
+                expand_span.add("dbscan.cluster_members", members)
+            next_label += 1
+        fit_span.add("dbscan.clusters", int(next_label))
+        fit_span.add("dbscan.noise_points", int(np.sum(labels == NOISE)))
 
     return labels
 

@@ -19,6 +19,7 @@ from repro.core.taxonomy import (
     InefficiencyType,
     RoleGroup,
 )
+from repro.obs import current_recorder
 
 
 class DuplicateRolesDetector(Detector):
@@ -68,7 +69,15 @@ class DuplicateRolesDetector(Detector):
         severity = DEFAULT_SEVERITY[InefficiencyType.DUPLICATE_ROLES]
         noun = axis.value  # "users" / "permissions"
         findings = []
-        for role_ids in find_role_groups(matrix, self._finder, 0):
+        with current_recorder().span(
+            f"axis:{axis.value}", detector=self.name
+        ) as span:
+            groups = find_role_groups(matrix, self._finder, 0)
+            span.add("duplicates.groups", len(groups))
+            span.add(
+                "duplicates.roles_grouped", sum(len(g) for g in groups)
+            )
+        for role_ids in groups:
             group = RoleGroup(
                 role_ids=tuple(role_ids), axis=axis, max_differences=0
             )

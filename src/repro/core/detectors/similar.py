@@ -28,6 +28,7 @@ from repro.core.taxonomy import (
     RoleGroup,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs import current_recorder
 
 
 class SimilarRolesDetector(Detector):
@@ -93,20 +94,29 @@ class SimilarRolesDetector(Detector):
     def _detect_axis(
         self, matrix: AssignmentMatrix, axis: Axis
     ) -> list[Finding]:
-        submatrix, original = nonempty_submatrix(matrix)
-        if submatrix.shape[0] == 0:
-            return []
+        with current_recorder().span(
+            f"axis:{axis.value}", detector=self.name
+        ) as span:
+            submatrix, original = nonempty_submatrix(matrix)
+            if submatrix.shape[0] == 0:
+                return []
 
-        if self._collapse_duplicates:
-            representatives, class_sizes = _first_occurrences(submatrix)
-            analysed = submatrix[representatives]
-            to_original = original[representatives]
-        else:
-            analysed = submatrix
-            to_original = original
-            class_sizes = np.ones(submatrix.shape[0], dtype=np.int64)
+            if self._collapse_duplicates:
+                representatives, class_sizes = _first_occurrences(submatrix)
+                analysed = submatrix[representatives]
+                to_original = original[representatives]
+                span.add(
+                    "similar.collapsed_rows",
+                    int(submatrix.shape[0] - len(representatives)),
+                )
+            else:
+                analysed = submatrix
+                to_original = original
+                class_sizes = np.ones(submatrix.shape[0], dtype=np.int64)
+            span.add("similar.rows_analysed", int(analysed.shape[0]))
 
-        groups = self._finder.find_groups(analysed, self._max_differences)
+            groups = self._finder.find_groups(analysed, self._max_differences)
+            span.add("similar.groups", len(groups))
 
         severity = DEFAULT_SEVERITY[InefficiencyType.SIMILAR_ROLES]
         noun = axis.value

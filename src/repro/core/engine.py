@@ -19,8 +19,9 @@ ordering, and ``counts()`` — is identical for every worker count.
 
 from __future__ import annotations
 
-import time
+import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.detectors import (
     AnalysisContext,
@@ -35,6 +36,9 @@ from repro.core.report import Report
 from repro.core.state import RbacState
 from repro.core.taxonomy import Axis, InefficiencyType
 from repro.exceptions import ConfigurationError
+from repro.obs import NullRecorder, Recorder, current_recorder, use_recorder
+from repro.obs.spans import counter_totals, span_count
+from repro.parallel import resolve_workers, validate_workers
 
 #: All five taxonomy types, in paper order.
 ALL_TYPES: tuple[InefficiencyType, ...] = (
@@ -108,14 +112,30 @@ class AnalysisConfig:
         ]
         if unknown:
             raise ConfigurationError(f"not inefficiency types: {unknown!r}")
-        if self.n_workers is not None and self.n_workers < 1:
-            raise ConfigurationError(
-                f"n_workers must be >= 1 or None, got {self.n_workers}"
-            )
+        # Single source of truth shared with repro.parallel, so the
+        # error message is identical wherever n_workers is validated.
+        validate_workers(self.n_workers)
         if self.block_rows is not None and self.block_rows < 1:
             raise ConfigurationError(
                 f"block_rows must be >= 1 or None, got {self.block_rows}"
             )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable view of the effective configuration.
+
+        Rendered into reports (``Report.to_json`` / ``to_markdown``) so
+        a run is reproducible from its own output.
+        """
+        return {
+            "enabled_types": [t.value for t in self.enabled_types],
+            "finder": self.finder,
+            "finder_options": dict(self.finder_options),
+            "similarity_threshold": self.similarity_threshold,
+            "axes": [axis.value for axis in self.axes],
+            "collapse_duplicates": self.collapse_duplicates,
+            "n_workers": self.n_workers,
+            "block_rows": self.block_rows,
+        }
 
 
 class AnalysisEngine:
@@ -169,45 +189,105 @@ class AnalysisEngine:
         """The detector instances this engine will run (in order)."""
         return list(self._detectors)
 
-    def analyze(self, state: RbacState) -> Report:
+    def analyze(
+        self, state: RbacState, recorder: Recorder | None = None
+    ) -> Report:
         """Run every enabled detector over ``state``.
 
         Detection is read-only: the state is not modified, and findings
         are never applied automatically (§III-A: every instance must be
         reviewed by an administrator).
-        """
-        from repro.parallel import resolve_workers
 
+        ``recorder`` receives the run's trace (span tree + counters);
+        pass a :class:`repro.obs.Recorder` wired to sinks to export it.
+        Without one, a recorder already installed via
+        :func:`repro.obs.use_recorder` is adopted (so callers like
+        ``benchharness.time_call`` capture engine spans under their own);
+        failing that the engine records into a private sink-less recorder.
+        Either way the tree is what populates ``Report.timings`` (the
+        span durations, same keys as before) and ``Report.metrics``.
+        """
+        if recorder is None:
+            recorder = current_recorder()
+        if isinstance(recorder, NullRecorder):
+            # Engine-level spans are mandatory: timings and metrics are
+            # part of the Report contract.  A sink-less recorder is a
+            # handful of dict/list operations per detector — the no-op
+            # recorder exists for bare library calls, not for the engine.
+            recorder = Recorder()
         context = AnalysisContext(state)
         findings: list = []
         timings: dict[str, float] = {}
-        total_start = time.perf_counter()
-        # Build RUAM/RPAM up front so matrix-construction cost is
-        # attributed to its own timing bucket rather than to whichever
-        # detector happens to run first (the paper computes the matrices
-        # once and reuses them across all inefficiency types).  The
-        # parallel path additionally relies on this: the matrices are
-        # built once here and shipped to every worker.
-        build_start = time.perf_counter()
-        context.ruam
-        context.rpam
-        timings["matrix_build"] = time.perf_counter() - build_start
+        worker_stats: list[dict[str, Any]] | None = None
         n_workers = resolve_workers(self.config.n_workers)
-        if n_workers > 1:
-            self._detect_parallel(context, n_workers, findings, timings)
-        else:
-            for detector in self._detectors:
-                start = time.perf_counter()
-                findings.extend(detector.detect(context))
-                timings[detector.name] = time.perf_counter() - start
-        total = time.perf_counter() - total_start
+        with use_recorder(recorder):
+            with recorder.span(
+                "engine.analyze",
+                finder=self.config.finder,
+                n_workers=n_workers,
+                n_roles=state.n_roles,
+                n_users=state.n_users,
+                n_permissions=state.n_permissions,
+            ) as root:
+                # Build RUAM/RPAM up front so matrix-construction cost is
+                # attributed to its own span rather than to whichever
+                # detector happens to run first (the paper computes the
+                # matrices once and reuses them across all inefficiency
+                # types).  The parallel path additionally relies on this:
+                # the matrices are built once here and shipped to every
+                # worker.
+                with recorder.span("engine.matrix_build") as build_span:
+                    build_span.add("matrix.ruam_nnz", int(context.ruam.csr.nnz))
+                    build_span.add("matrix.rpam_nnz", int(context.rpam.csr.nnz))
+                timings["matrix_build"] = build_span.duration
+                if n_workers > 1:
+                    worker_stats = self._detect_parallel(
+                        context, n_workers, findings, timings, recorder
+                    )
+                else:
+                    for detector in self._detectors:
+                        with recorder.span(
+                            f"detector:{detector.name}"
+                        ) as span:
+                            found = detector.detect(context)
+                            span.add("findings", len(found))
+                        findings.extend(found)
+                        timings[detector.name] = span.duration
         return Report(
             state=state,
             findings=findings,
             timings=timings,
-            total_seconds=total,
+            total_seconds=root.duration,
             config=self.config,
+            metrics=self._build_metrics(root, n_workers, worker_stats),
         )
+
+    def _build_metrics(
+        self,
+        root: Any,
+        n_workers: int,
+        worker_stats: list[dict[str, Any]] | None,
+    ) -> dict[str, Any]:
+        """Assemble ``Report.metrics`` from the run's root span.
+
+        ``counters`` and ``spans`` are deterministic for a given input
+        and worker mode (and counter totals are identical between serial
+        and parallel runs of the same analysis); the ``per_worker``
+        breakdown reflects OS scheduling and is not.
+        """
+        workers: dict[str, Any] = {
+            "requested": self.config.n_workers,
+            "resolved": n_workers,
+            "mode": "parallel" if n_workers > 1 else "serial",
+        }
+        if worker_stats is not None:
+            workers["per_worker"] = worker_stats
+        return {
+            "schema": 1,
+            "counters": counter_totals(root),
+            "spans": span_count(root),
+            "workers": workers,
+        }
 
     def _detect_parallel(
         self,
@@ -215,13 +295,23 @@ class AnalysisEngine:
         n_workers: int,
         findings: list,
         timings: dict[str, float],
-    ) -> None:
+        recorder: Recorder,
+    ) -> list[dict[str, Any]]:
         """Fan independent (detector, axis) work items across workers.
 
         Results are merged in partition order — which equals serial
         detection order — so findings and counts match the serial engine
         exactly; per-detector timings are the summed worker-side
-        durations of that detector's items.
+        durations of that detector's items.  Each worker records its
+        item into a local trace and ships it back with the findings; the
+        fragments are grafted under the ``engine.detect_parallel`` span
+        in the same partition order, mirroring the findings-merge
+        contract, so the merged span tree is deterministic too.
+
+        Returns the per-worker ``{"items", "seconds"}`` breakdown in
+        first-appearance order (worker identity is OS scheduling and is
+        the one non-deterministic part; it is therefore reported only
+        in ``Report.metrics``, never on spans).
         """
         from repro.parallel import ParallelExecutor
 
@@ -230,38 +320,68 @@ class AnalysisEngine:
             for detector in self._detectors
             for part in detector.partition()
         ]
-        executor = ParallelExecutor(
-            n_workers,
-            initializer=_init_detection_worker,
-            initargs=(context,),
-        )
-        results = executor.map(_detect_one, [part for _, part in items])
-        for (name, _), (part_findings, seconds) in zip(items, results):
-            findings.extend(part_findings)
-            timings[name] = timings.get(name, 0.0) + seconds
+        with recorder.span("engine.detect_parallel") as par_span:
+            par_span.annotate(n_workers=n_workers, n_items=len(items))
+            executor = ParallelExecutor(
+                n_workers,
+                initializer=_init_detection_worker,
+                initargs=(context, recorder.measure_memory),
+            )
+            results = executor.map(_detect_one, [part for _, part in items])
+            if executor.last_fallback_reason is not None:
+                par_span.annotate(fallback=executor.last_fallback_reason)
+            per_worker: dict[int, dict[str, Any]] = {}
+            for (name, _), (part_findings, payload, worker_pid) in zip(
+                items, results
+            ):
+                findings.extend(part_findings)
+                timings[name] = timings.get(name, 0.0) + payload["duration"]
+                recorder.graft(payload)
+                stats = per_worker.setdefault(
+                    worker_pid, {"items": 0, "seconds": 0.0}
+                )
+                stats["items"] += 1
+                stats["seconds"] += payload["duration"]
+        return list(per_worker.values())
 
 
 #: Per-worker shared analysis context, installed by pool initialisation
 #: (or once in-process on the serial fallback path).
 _WORKER_CONTEXT: AnalysisContext | None = None
+#: Whether worker-side recorders opt into tracemalloc block counters.
+_WORKER_MEASURE_MEMORY: bool = False
 
 
-def _init_detection_worker(context: AnalysisContext) -> None:
-    global _WORKER_CONTEXT
+def _init_detection_worker(
+    context: AnalysisContext, measure_memory: bool = False
+) -> None:
+    global _WORKER_CONTEXT, _WORKER_MEASURE_MEMORY
     _WORKER_CONTEXT = context
+    _WORKER_MEASURE_MEMORY = measure_memory
 
 
-def _detect_one(detector: Detector) -> tuple[list, float]:
-    """Process-pool task: run one detection work item, return findings
-    plus the worker-side wall-clock it took."""
+def _detect_one(detector: Detector) -> tuple[list, dict[str, Any], int]:
+    """Process-pool task: run one detection work item.
+
+    Returns the findings, the item's trace fragment (recorded into a
+    worker-local recorder and serialised — the parent grafts it into its
+    own trace in partition order), and the worker's pid for the
+    per-worker breakdown.  The fragment's root duration is the
+    worker-side wall-clock of the item.
+    """
     assert _WORKER_CONTEXT is not None
-    start = time.perf_counter()
-    found = detector.detect(_WORKER_CONTEXT)
-    return found, time.perf_counter() - start
+    local = Recorder(measure_memory=_WORKER_MEASURE_MEMORY)
+    with use_recorder(local):
+        with local.span(f"detector:{detector.name}") as span:
+            found = detector.detect(_WORKER_CONTEXT)
+            span.add("findings", len(found))
+    return found, local.traces[-1].to_dict(), os.getpid()
 
 
 def analyze(
-    state: RbacState, config: AnalysisConfig | None = None
+    state: RbacState,
+    config: AnalysisConfig | None = None,
+    recorder: Recorder | None = None,
 ) -> Report:
     """One-shot convenience wrapper: ``AnalysisEngine(config).analyze(state)``."""
-    return AnalysisEngine(config).analyze(state)
+    return AnalysisEngine(config).analyze(state, recorder=recorder)

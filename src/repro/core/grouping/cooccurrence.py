@@ -32,7 +32,8 @@ reduction is order-insensitive, so the groups are identical for every
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+import tracemalloc
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 import numpy.typing as npt
@@ -40,6 +41,7 @@ import scipy.sparse as sp
 
 from repro.core.grouping.base import GroupFinder, register_group_finder
 from repro.exceptions import ConfigurationError
+from repro.obs import Recorder, current_recorder, use_recorder
 from repro.parallel import ParallelExecutor, resolve_workers
 from repro.util import DisjointSet
 
@@ -53,11 +55,13 @@ def _init_block_worker(
     csr_t: sp.csr_matrix,
     norms: npt.NDArray[np.int64],
     k: int,
+    measure_memory: bool = False,
 ) -> None:
     _WORKER_STATE["csr"] = csr
     _WORKER_STATE["csr_t"] = csr_t
     _WORKER_STATE["norms"] = norms
     _WORKER_STATE["k"] = k
+    _WORKER_STATE["measure_memory"] = measure_memory
 
 
 def _block_matching_pairs(
@@ -73,36 +77,73 @@ def _block_matching_pairs(
     Computes ``M[start:stop] @ Mᵀ`` and applies the duplicate/similarity
     criterion to its stored entries; the (small) matched-pair arrays are
     all that survives the block.
+
+    Each block is wrapped in a ``cooccurrence.block`` span carrying the
+    per-stage counters that make the kernel's cost explainable: stored
+    entries of the block product, candidate pairs examined, and pairs
+    matched.  When the current recorder opted into ``measure_memory``
+    the block's peak allocation is measured via ``tracemalloc``
+    (expensive, and it resets the interpreter's global peak marker —
+    hence opt-in; see :class:`repro.obs.Recorder`).
     """
-    product = (csr[start:stop] @ csr_t).tocoo()
-    rows = product.row.astype(np.int64) + start
-    cols = product.col.astype(np.int64)
-    shared = product.data
+    recorder = current_recorder()
+    with recorder.span("cooccurrence.block", start=start, stop=stop) as span:
+        measure = recorder.measure_memory
+        if measure:
+            started_tracing = not tracemalloc.is_tracing()
+            if started_tracing:
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+        try:
+            product = (csr[start:stop] @ csr_t).tocoo()
+            rows = product.row.astype(np.int64) + start
+            cols = product.col.astype(np.int64)
+            shared = product.data
+            span.add("cooccurrence.product_nnz", int(product.nnz))
 
-    # Only consider each unordered pair once.
-    upper = rows < cols
-    rows, cols, shared = rows[upper], cols[upper], shared[upper]
+            # Only consider each unordered pair once.
+            upper = rows < cols
+            rows, cols, shared = rows[upper], cols[upper], shared[upper]
+            span.add("cooccurrence.candidate_pairs", int(len(rows)))
 
-    if k == 0:
-        # I[i, j] = 1 iff |R^i| = g^{ij} = |R^j|.
-        mask = (shared == norms[rows]) & (shared == norms[cols])
-    else:
-        # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij} <= k.
-        mask = (norms[rows] + norms[cols] - 2 * shared) <= k
-    return rows[mask], cols[mask]
+            if k == 0:
+                # I[i, j] = 1 iff |R^i| = g^{ij} = |R^j|.
+                mask = (shared == norms[rows]) & (shared == norms[cols])
+            else:
+                # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij} <= k.
+                mask = (norms[rows] + norms[cols] - 2 * shared) <= k
+            rows, cols = rows[mask], cols[mask]
+            span.add("cooccurrence.matched_pairs", int(len(rows)))
+        finally:
+            if measure:
+                span.add(
+                    "cooccurrence.block_peak_bytes",
+                    int(tracemalloc.get_traced_memory()[1]),
+                )
+                if started_tracing:
+                    tracemalloc.stop()
+        return rows, cols
 
 
 def _pairs_of_block(bounds: tuple[int, int]) -> tuple[
-    npt.NDArray[np.int64], npt.NDArray[np.int64]
+    npt.NDArray[np.int64], npt.NDArray[np.int64], dict[str, Any]
 ]:
-    """Process-pool task: block bounds in, matched pairs out."""
-    return _block_matching_pairs(
-        _WORKER_STATE["csr"],
-        _WORKER_STATE["csr_t"],
-        _WORKER_STATE["norms"],
-        _WORKER_STATE["k"],
-        *bounds,
-    )
+    """Process-pool task: block bounds in, matched pairs out.
+
+    Also returns the block's trace fragment, recorded into a
+    worker-local recorder, so the parent can graft the worker-side spans
+    into its own trace in deterministic block order.
+    """
+    local = Recorder(measure_memory=_WORKER_STATE.get("measure_memory", False))
+    with use_recorder(local):
+        rows, cols = _block_matching_pairs(
+            _WORKER_STATE["csr"],
+            _WORKER_STATE["csr_t"],
+            _WORKER_STATE["norms"],
+            _WORKER_STATE["k"],
+            *bounds,
+        )
+    return rows, cols, local.traces[-1].to_dict()
 
 
 @register_group_finder("cooccurrence")
@@ -141,15 +182,25 @@ class CooccurrenceGroupFinder(GroupFinder):
         if n_rows == 0:
             return []
 
-        norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
-        components = DisjointSet(n_rows)
+        recorder = current_recorder()
+        with recorder.span("finder:cooccurrence", k=k) as span:
+            span.add("cooccurrence.rows", int(n_rows))
+            span.add("cooccurrence.input_nnz", int(csr.nnz))
 
-        for rows, cols in self._matching_pairs(csr, norms, k):
-            for i, j in zip(rows.tolist(), cols.tolist()):
-                components.union(i, j)
+            norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+            components = DisjointSet(n_rows)
 
-        self._union_non_overlapping(components, norms, k)
-        return components.groups(min_size=2)
+            n_blocks = 0
+            for rows, cols in self._matching_pairs(csr, norms, k):
+                n_blocks += 1
+                for i, j in zip(rows.tolist(), cols.tolist()):
+                    components.union(i, j)
+            span.add("cooccurrence.blocks", n_blocks)
+
+            self._union_non_overlapping(components, norms, k)
+            groups = components.groups(min_size=2)
+            span.add("cooccurrence.groups", len(groups))
+        return groups
 
     def _matching_pairs(
         self,
@@ -169,18 +220,39 @@ class CooccurrenceGroupFinder(GroupFinder):
         # transpose view once per block).
         csr_t = csr.T.tocsr()
         if self._n_workers > 1 and len(bounds) > 1:
-            executor = ParallelExecutor(
-                self._n_workers,
-                initializer=_init_block_worker,
-                initargs=(csr, csr_t, norms, k),
-            )
-            return executor.map(_pairs_of_block, bounds)
+            return self._matching_pairs_parallel(csr, csr_t, norms, k, bounds)
         # Serial: yield lazily so only one block product is alive at a
         # time — this is what bounds peak memory.
         return (
             _block_matching_pairs(csr, csr_t, norms, k, start, stop)
             for start, stop in bounds
         )
+
+    def _matching_pairs_parallel(
+        self,
+        csr: sp.csr_matrix,
+        csr_t: sp.csr_matrix,
+        norms: npt.NDArray[np.int64],
+        k: int,
+        bounds: list[tuple[int, int]],
+    ) -> Iterator[tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]]:
+        """Fan block products over a pool; graft worker spans in order.
+
+        Worker-side block spans come back as serialised fragments and
+        are grafted into the parent trace in block order (the same
+        order the serial path records them), keeping the merged trace
+        deterministic for every worker count.
+        """
+        recorder = current_recorder()
+        executor = ParallelExecutor(
+            self._n_workers,
+            initializer=_init_block_worker,
+            initargs=(csr, csr_t, norms, k, recorder.measure_memory),
+        )
+        results = executor.map(_pairs_of_block, bounds)
+        for rows, cols, payload in results:
+            recorder.graft(payload)
+            yield rows, cols
 
     @staticmethod
     def _union_non_overlapping(

@@ -17,6 +17,7 @@ from typing import Any
 from repro.cluster import DBSCAN, labels_to_groups
 from repro.core.grouping.base import GroupFinder, register_group_finder
 from repro.exceptions import ConfigurationError
+from repro.obs import current_recorder
 
 #: Float-comparison guard added to the integer threshold (paper §III-D).
 EPSILON = 1e-6
@@ -47,8 +48,14 @@ class DbscanGroupFinder(GroupFinder):
         dense = self._dense_of(matrix)
         if dense.shape[0] == 0:
             return []
-        clusterer = DBSCAN(
-            eps=k + EPSILON, min_samples=2, metric=self._backend
-        )
-        labels = clusterer.fit_predict(dense)
-        return labels_to_groups(labels)
+        with current_recorder().span(
+            "finder:dbscan", k=k, backend=self._backend
+        ) as span:
+            span.add("dbscan.rows", int(dense.shape[0]))
+            clusterer = DBSCAN(
+                eps=k + EPSILON, min_samples=2, metric=self._backend
+            )
+            labels = clusterer.fit_predict(dense)
+            groups = labels_to_groups(labels)
+            span.add("dbscan.groups", len(groups))
+        return groups

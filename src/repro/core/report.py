@@ -33,6 +33,10 @@ class Report:
     timings: dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
     config: "AnalysisConfig | None" = None
+    #: Observability summary for the run (see docs/OBSERVABILITY.md):
+    #: counter totals, span count, and the worker breakdown.  Empty when
+    #: the report was built outside the engine.
+    metrics: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Selection
@@ -146,6 +150,15 @@ class Report:
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
+    def config_dict(self) -> dict[str, Any] | None:
+        """The effective analysis configuration, JSON-serialisable.
+
+        ``None`` when the report was built without one.  Rendered in
+        JSON and Markdown output so a run is reproducible from its own
+        artefacts.
+        """
+        return self.config.to_dict() if self.config is not None else None
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation of the whole report."""
         return {
@@ -156,10 +169,12 @@ class Report:
                 "user_assignments": self.state.n_user_assignments,
                 "permission_assignments": self.state.n_permission_assignments,
             },
+            "config": self.config_dict(),
             "counts": self.counts(),
             "consolidation": self.consolidation_potential(),
             "timings_seconds": dict(self.timings),
             "total_seconds": self.total_seconds,
+            "metrics": dict(self.metrics),
             "n_findings": len(self.findings),
             "findings": [f.to_dict() for f in self.sorted_findings()],
         }
@@ -187,6 +202,19 @@ class Report:
             f"{consolidation['removable_total_upper_bound']} roles "
             f"({consolidation['fraction_of_roles']:.1%} of all roles)"
         )
+        if self.config is not None:
+            lines.append("")
+            lines.append("configuration: " + self._config_summary())
+        counters = self.metrics.get("counters") or {}
+        if counters:
+            workers = self.metrics.get("workers", {})
+            lines.append("")
+            lines.append(
+                f"metrics ({self.metrics.get('spans', 0)} spans, "
+                f"{workers.get('mode', 'serial')} mode):"
+            )
+            for key, value in counters.items():
+                lines.append(f"  {key:<34} {value:>10}")
         shown = self.sorted_findings()[:max_findings]
         if shown:
             lines.append("")
@@ -197,6 +225,23 @@ class Report:
                     f"  [{finding.severity.value:>6}] {finding.message}"
                 )
         return "\n".join(lines)
+
+    def _config_summary(self) -> str:
+        """One-line ``key=value`` rendering of the effective config."""
+        payload = self.config_dict() or {}
+        parts = []
+        for key in (
+            "finder",
+            "similarity_threshold",
+            "axes",
+            "n_workers",
+            "block_rows",
+        ):
+            value = payload.get(key)
+            if isinstance(value, list):
+                value = ",".join(str(v) for v in value)
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
 
     def to_csv(self) -> str:
         """Findings as CSV (one row per finding) for spreadsheet triage.
@@ -248,6 +293,28 @@ class Report:
             f"**{consolidation['removable_total_upper_bound']}** roles "
             f"({consolidation['fraction_of_roles']:.1%})."
         )
+        config = self.config_dict()
+        if config is not None:
+            lines.append("")
+            lines.append("## Configuration")
+            lines.append("")
+            lines.append("| Option | Value |")
+            lines.append("|---|---|")
+            for key, value in config.items():
+                if isinstance(value, list):
+                    value = ", ".join(str(v) for v in value)
+                elif isinstance(value, dict):
+                    value = json.dumps(value, sort_keys=True)
+                lines.append(f"| {key} | {value} |")
+        counters = self.metrics.get("counters") or {}
+        if counters:
+            lines.append("")
+            lines.append("## Metrics")
+            lines.append("")
+            lines.append("| Counter | Total |")
+            lines.append("|---|---:|")
+            for key, value in counters.items():
+                lines.append(f"| {key} | {value} |")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

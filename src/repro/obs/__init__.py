@@ -1,0 +1,63 @@
+"""Observability: spans, counters, and pluggable trace/metrics sinks.
+
+The paper's claim is *scalability*, so the reproduction's performance
+must be explainable: which stage took the time, over how much data, and
+how the work was partitioned.  This package provides the (stdlib-only)
+instrumentation layer used across the detection pipeline:
+
+* :class:`Span` — a named, timed tree node carrying attributes and
+  additive counters (:mod:`repro.obs.spans`);
+* :class:`Recorder` / :data:`NULL_RECORDER` — the write API, installed
+  per-context with :func:`use_recorder` and read with
+  :func:`current_recorder`; the null recorder makes instrumented
+  library code free when nobody is observing
+  (:mod:`repro.obs.recorder`);
+* :class:`InMemorySink`, :class:`LoggingSink`, :class:`JsonlTraceSink`
+  — where completed traces go (:mod:`repro.obs.sinks`);
+* :func:`validate_trace_file` — schema validation for emitted JSONL
+  traces (:mod:`repro.obs.tracefile`), run in CI.
+
+See ``docs/OBSERVABILITY.md`` for the span hierarchy, the JSONL event
+schema, and overhead notes.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    use_recorder,
+)
+from repro.obs.sinks import (
+    TRACE_SCHEMA_VERSION,
+    InMemorySink,
+    JsonlTraceSink,
+    LoggingSink,
+    Sink,
+)
+from repro.obs.spans import Span, counter_totals, span_count, tree_signature
+from repro.obs.tracefile import (
+    TraceSchemaError,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "Span",
+    "counter_totals",
+    "span_count",
+    "tree_signature",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "use_recorder",
+    "Sink",
+    "InMemorySink",
+    "LoggingSink",
+    "JsonlTraceSink",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

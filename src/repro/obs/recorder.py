@@ -1,0 +1,223 @@
+"""Recorders: the write API of the observability layer.
+
+Two implementations share one interface:
+
+* :class:`Recorder` — collects a span tree in memory and hands every
+  completed *trace* (top-level span) to its sinks.  Span bookkeeping is
+  a few dict/list operations per span, cheap enough to leave on for
+  every engine run (it is what populates ``Report.timings`` and
+  ``Report.metrics``).
+* :class:`NullRecorder` — the module default.  Every operation is a
+  no-op on shared singletons: no allocation, no timing calls.  Library
+  code instrumented with ``current_recorder()`` therefore costs nothing
+  unless a caller has installed a real recorder.
+
+The *current* recorder is tracked with a :class:`contextvars.ContextVar`
+so deep call stacks (the co-occurrence kernel, the DBSCAN expansion
+loop) need no recorder parameter threading::
+
+    recorder = Recorder(sinks=[JsonlTraceSink("trace.jsonl")])
+    with use_recorder(recorder):
+        report = engine.analyze(state)
+
+Worker processes do not inherit the context variable; instead each
+worker task records into a fresh local :class:`Recorder` and returns the
+serialised trace fragment, which the parent grafts into its own tree in
+deterministic (partition) order — see ``repro.core.engine`` and
+``repro.core.grouping.cooccurrence``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.obs.spans import Span, counter_totals, span_count
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "use_recorder",
+]
+
+
+class _NullSpan(Span):
+    """Shared, inert span handed out by the null recorder.
+
+    Mutations are discarded so a single instance can be reused by every
+    call site; it also acts as its own (re-entrant) context manager.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        pass
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+class NullRecorder:
+    """No-op recorder: the zero-overhead default (see module docstring)."""
+
+    enabled: bool = False
+    measure_memory: bool = False
+
+    def __init__(self) -> None:
+        self._null_span = _NullSpan()
+        self.traces: list[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return self._null_span
+
+    def graft(self, payload: dict[str, Any]) -> None:
+        pass
+
+    def counter_totals(self) -> dict[str, int | float]:
+        return {}
+
+    def span_count(self) -> int:
+        return 0
+
+
+#: Process-wide shared no-op recorder.
+NULL_RECORDER = NullRecorder()
+
+_CURRENT: ContextVar["Recorder | NullRecorder"] = ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER
+)
+
+
+def current_recorder() -> "Recorder | NullRecorder":
+    """The recorder installed for the current context (null by default)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_recorder(recorder: "Recorder | NullRecorder") -> Iterator["Recorder | NullRecorder"]:
+    """Install ``recorder`` as the current recorder for the ``with`` body."""
+    token = _CURRENT.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a recorder's stack."""
+
+    __slots__ = ("_recorder", "_span", "_t0")
+
+    def __init__(self, recorder: "Recorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+        self._t0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._t0 = self._recorder._open(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._recorder._close(self._span, self._t0)
+        return False
+
+
+class Recorder:
+    """Collects span trees and forwards completed traces to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with an ``emit(root_span)`` method (see
+        :mod:`repro.obs.sinks`).  Each is called once per completed
+        trace, i.e. whenever a top-level span closes.  With no sinks the
+        recorder still collects the tree in memory (``traces``) — that
+        is how the engine derives ``Report.timings`` / ``Report.metrics``.
+    measure_memory:
+        Opt into ``tracemalloc``-based per-block peak-memory counters in
+        the co-occurrence kernel.  Off by default: ``tracemalloc``
+        tracing slows allocation-heavy code and resets the interpreter's
+        global peak marker, which would corrupt concurrent external
+        measurements (e.g. the memory-ablation benchmarks).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, sinks: Any = (), measure_memory: bool = False) -> None:
+        self._sinks = list(sinks)
+        self.measure_memory = bool(measure_memory)
+        self._stack: list[Span] = []
+        self._origin = 0.0
+        #: Completed top-level spans, oldest first.
+        self.traces: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span as a context manager; yields the live :class:`Span`."""
+        return _SpanContext(self, Span(name=name, attributes=attributes))
+
+    def _open(self, span: Span) -> float:
+        now = time.perf_counter()
+        if not self._stack:
+            self._origin = now
+        span.start = now - self._origin
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return now
+
+    def _close(self, span: Span, t0: float) -> None:
+        span.duration = time.perf_counter() - t0
+        popped = self._stack.pop()
+        assert popped is span, "span close out of order"
+        if not self._stack:
+            self.traces.append(span)
+            for sink in self._sinks:
+                sink.emit(span)
+
+    def graft(self, payload: dict[str, Any]) -> Span:
+        """Attach a serialised trace fragment under the current span.
+
+        Worker processes return their local trace as a plain dict
+        (:meth:`Span.to_dict`); grafting in partition order keeps the
+        merged tree deterministic.  Outside any open span the fragment
+        becomes a trace of its own.
+        """
+        span = Span.from_dict(payload)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.traces.append(span)
+            for sink in self._sinks:
+                sink.emit(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def counter_totals(self) -> dict[str, int | float]:
+        """Summed counters over every completed trace (sorted keys)."""
+        totals: dict[str, int | float] = {}
+        for root in self.traces:
+            for key, value in counter_totals(root).items():
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
+    def span_count(self) -> int:
+        """Total spans over every completed trace."""
+        return sum(span_count(root) for root in self.traces)

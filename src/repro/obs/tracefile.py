@@ -1,0 +1,157 @@
+"""Validation of JSONL trace files against the documented schema.
+
+The JSONL layout written by :class:`repro.obs.JsonlTraceSink` is a
+stable interface (docs/OBSERVABILITY.md); CI runs this validator against
+a real ``repro analyze --trace-out`` run so schema drift fails loudly.
+
+The checks are structural *and* semantic: event ordering per trace,
+required fields and types per event kind, pre-order consistency of
+``path``/``depth``, and that each ``trace_end``'s ``counter_totals`` and
+``spans`` equal what its ``span`` lines actually add up to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.exceptions import ReproError
+
+__all__ = ["TraceSchemaError", "validate_trace_lines", "validate_trace_file"]
+
+_NUMBER = (int, float)
+
+
+class TraceSchemaError(ReproError):
+    """A trace file does not conform to the documented JSONL schema."""
+
+
+def _fail(line_no: int, message: str) -> None:
+    raise TraceSchemaError(f"line {line_no}: {message}")
+
+
+def _require(event: dict[str, Any], line_no: int, field: str, kinds: Any) -> Any:
+    if field not in event:
+        _fail(line_no, f"missing field {field!r}")
+    value = event[field]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        _fail(line_no, f"field {field!r} has wrong type {type(value).__name__}")
+    return value
+
+
+def _check_counters(mapping: Any, line_no: int, field: str) -> dict[str, Any]:
+    if not isinstance(mapping, dict):
+        _fail(line_no, f"{field} must be an object")
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            _fail(line_no, f"{field} key {key!r} is not a string")
+        if not isinstance(value, _NUMBER) or isinstance(value, bool):
+            _fail(line_no, f"{field}[{key!r}] is not a number")
+    return mapping
+
+
+def validate_trace_lines(lines: Iterable[str]) -> dict[str, int]:
+    """Validate an iterable of JSONL lines; return summary statistics.
+
+    Returns ``{"traces": T, "spans": S}`` on success and raises
+    :class:`TraceSchemaError` (with a line number) on the first
+    violation.
+    """
+    open_trace: int | None = None
+    seen_span_for_trace = False
+    expected_depth_ok = False
+    totals: dict[str, float] = {}
+    span_lines = 0
+    traces = 0
+    total_spans = 0
+    last_depth = -1
+
+    for line_no, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except json.JSONDecodeError as error:
+            _fail(line_no, f"not valid JSON ({error.msg})")
+        if not isinstance(event, dict):
+            _fail(line_no, "event is not a JSON object")
+        kind = _require(event, line_no, "event", str)
+
+        if kind == "trace_start":
+            if open_trace is not None:
+                _fail(line_no, "trace_start while a trace is open")
+            schema = _require(event, line_no, "schema", int)
+            if schema != 1:
+                _fail(line_no, f"unsupported schema version {schema}")
+            open_trace = _require(event, line_no, "trace", int)
+            _require(event, line_no, "name", str)
+            seen_span_for_trace = False
+            totals = {}
+            span_lines = 0
+            last_depth = -1
+        elif kind == "span":
+            if open_trace is None:
+                _fail(line_no, "span outside any trace")
+            if _require(event, line_no, "trace", int) != open_trace:
+                _fail(line_no, "span trace id does not match open trace")
+            name = _require(event, line_no, "name", str)
+            path = _require(event, line_no, "path", str)
+            depth = _require(event, line_no, "depth", int)
+            if depth < 0:
+                _fail(line_no, "depth must be >= 0")
+            if not seen_span_for_trace and depth != 0:
+                _fail(line_no, "first span of a trace must have depth 0")
+            if seen_span_for_trace and depth > last_depth + 1:
+                _fail(line_no, "pre-order depth may increase by at most 1")
+            segments = path.split("/")
+            if len(segments) != depth + 1 or segments[-1] != name:
+                _fail(line_no, "path does not match name/depth")
+            for field in ("start_s", "duration_s"):
+                value = _require(event, line_no, field, _NUMBER)
+                if value < 0:
+                    _fail(line_no, f"{field} must be >= 0")
+            if not isinstance(event.get("attributes"), dict):
+                _fail(line_no, "attributes must be an object")
+            for key, value in _check_counters(
+                event.get("counters"), line_no, "counters"
+            ).items():
+                totals[key] = totals.get(key, 0) + value
+            seen_span_for_trace = True
+            last_depth = depth
+            span_lines += 1
+        elif kind == "trace_end":
+            if open_trace is None:
+                _fail(line_no, "trace_end without trace_start")
+            if _require(event, line_no, "trace", int) != open_trace:
+                _fail(line_no, "trace_end trace id does not match open trace")
+            spans = _require(event, line_no, "spans", int)
+            if spans != span_lines:
+                _fail(
+                    line_no,
+                    f"trace_end reports {spans} spans but {span_lines} "
+                    "span lines were seen",
+                )
+            declared = _check_counters(
+                event.get("counter_totals"), line_no, "counter_totals"
+            )
+            if dict(declared) != dict(totals):
+                _fail(line_no, "counter_totals do not match summed span counters")
+            traces += 1
+            total_spans += span_lines
+            open_trace = None
+        else:
+            _fail(line_no, f"unknown event kind {kind!r}")
+
+    if open_trace is not None:
+        raise TraceSchemaError("file ended with an unterminated trace")
+    if traces == 0:
+        raise TraceSchemaError("file contains no traces")
+    return {"traces": traces, "spans": total_spans}
+
+
+def validate_trace_file(path: str | Path) -> dict[str, int]:
+    """Validate one JSONL trace file (see :func:`validate_trace_lines`)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return validate_trace_lines(handle)

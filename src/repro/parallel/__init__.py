@@ -5,6 +5,10 @@ See :mod:`repro.parallel.executor` for the execution model and the
 determinism contract.
 """
 
-from repro.parallel.executor import ParallelExecutor, resolve_workers
+from repro.parallel.executor import (
+    ParallelExecutor,
+    resolve_workers,
+    validate_workers,
+)
 
-__all__ = ["ParallelExecutor", "resolve_workers"]
+__all__ = ["ParallelExecutor", "resolve_workers", "validate_workers"]

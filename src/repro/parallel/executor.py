@@ -28,6 +28,26 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.obs import current_recorder
+
+
+def validate_workers(n_workers: int | None) -> int | None:
+    """Validate a worker-count option without resolving ``None``.
+
+    The single source of truth for worker-count validation — both
+    :class:`~repro.core.engine.AnalysisConfig` and
+    :func:`resolve_workers` route through it, so the error message is
+    identical everywhere.  Returns the normalised value (``None`` or an
+    ``int >= 1``).
+    """
+    if n_workers is None:
+        return None
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ConfigurationError(
+            f"n_workers must be >= 1 or None, got {n_workers}"
+        )
+    return n_workers
 
 
 def resolve_workers(n_workers: int | None) -> int:
@@ -36,11 +56,9 @@ def resolve_workers(n_workers: int | None) -> int:
     ``None`` means "use every core" (``os.cpu_count()``); any explicit
     value must be >= 1.
     """
+    n_workers = validate_workers(n_workers)
     if n_workers is None:
         return max(1, os.cpu_count() or 1)
-    n_workers = int(n_workers)
-    if n_workers < 1:
-        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
     return n_workers
 
 
@@ -80,29 +98,44 @@ class ParallelExecutor:
         self.last_fallback_reason: str | None = None
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
-        """Apply ``fn`` to every item, returning results in input order."""
+        """Apply ``fn`` to every item, returning results in input order.
+
+        The call is wrapped in a ``parallel.map`` span on the current
+        recorder.  Execution facts (worker count, item count, fallback
+        reason) are recorded as span *attributes*, never counters, so
+        counter totals stay identical between serial and parallel runs
+        of the same work.
+        """
         tasks: Sequence[Any] = list(items)
         self.last_fallback_reason = None
-        if self.n_workers <= 1 or len(tasks) <= 1:
-            return self._map_serial(fn, tasks)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.n_workers, len(tasks)),
-                initializer=self._initializer,
-                initargs=self._initargs,
-            ) as pool:
-                return list(pool.map(fn, tasks, chunksize=self._chunksize))
-        except (
-            BrokenProcessPool,
-            pickle.PicklingError,
-            AttributeError,  # unpicklable closures/lambdas raise this
-            OSError,  # no fork / no semaphores in restricted sandboxes
-            PermissionError,
-        ) as error:
-            # Task functions are required to be pure, so re-running the
-            # whole batch serially is safe and yields identical results.
-            self.last_fallback_reason = f"{type(error).__name__}: {error}"
-            return self._map_serial(fn, tasks)
+        with current_recorder().span("parallel.map") as span:
+            span.annotate(n_workers=self.n_workers, n_items=len(tasks))
+            if self.n_workers <= 1 or len(tasks) <= 1:
+                span.annotate(mode="serial")
+                return self._map_serial(fn, tasks)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.n_workers, len(tasks)),
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                ) as pool:
+                    results = list(pool.map(fn, tasks, chunksize=self._chunksize))
+                span.annotate(mode="pool")
+                return results
+            except (
+                BrokenProcessPool,
+                pickle.PicklingError,
+                AttributeError,  # unpicklable closures/lambdas raise this
+                OSError,  # no fork / no semaphores in restricted sandboxes
+                PermissionError,
+            ) as error:
+                # Task functions are required to be pure, so re-running the
+                # whole batch serially is safe and yields identical results.
+                self.last_fallback_reason = f"{type(error).__name__}: {error}"
+                span.annotate(
+                    mode="serial-fallback", fallback=self.last_fallback_reason
+                )
+                return self._map_serial(fn, tasks)
 
     def _map_serial(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]

@@ -385,3 +385,75 @@ class TestBenchDensity:
         out = capsys.readouterr().out
         assert "density_sweep" in out
         assert "300" in out  # densest point of the sweep
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_valid_jsonl(self, dataset_path, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(["analyze", str(dataset_path), "--trace-out", str(trace)]) == 0
+        )
+        summary = validate_trace_file(trace)
+        assert summary["traces"] == 1
+        assert summary["spans"] > 0
+
+    def test_trace_out_parallel_run_validates(self, dataset_path, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(dataset_path),
+                    "--workers",
+                    "2",
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        assert validate_trace_file(trace)["traces"] == 1
+
+    def test_metrics_out_writes_counters_and_timings(
+        self, dataset_path, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(dataset_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["counters"]["matrix.ruam_nnz"] == 6
+        assert "matrix_build" in payload["timings_seconds"]
+        assert payload["total_seconds"] > 0
+        # --metrics-out opts into the tracemalloc block counters.
+        assert payload["counters"]["cooccurrence.block_peak_bytes"] > 0
+
+    def test_log_level_emits_span_records(self, dataset_path, capsys, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            assert (
+                main(["analyze", str(dataset_path), "--log-level", "info"]) == 0
+            )
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("engine.analyze" in m for m in messages)
+        assert any("engine.matrix_build" in m for m in messages)
+
+    def test_report_json_includes_metrics_and_config(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["finder"] == "cooccurrence"
+        assert payload["metrics"]["workers"]["mode"] == "serial"

@@ -124,3 +124,61 @@ class TestExtensionCounts:
         assert extended.extension_counts() == {"shadowed_roles": 1}
         # the paper's table keys stay untouched
         assert "shadowed_roles" not in extended.counts()
+
+
+class TestConfigRendering:
+    def test_to_dict_carries_effective_config(self, report):
+        payload = json.loads(report.to_json())
+        config = payload["config"]
+        assert config["finder"] == "cooccurrence"
+        assert config["similarity_threshold"] == 1
+        assert config["axes"] == ["users", "permissions"]
+        assert config["n_workers"] == 1
+        assert len(config["enabled_types"]) == 5
+
+    def test_to_text_has_configuration_line(self, report):
+        text = report.to_text()
+        assert "configuration: finder=cooccurrence" in text
+        assert "axes=users,permissions" in text
+
+    def test_to_markdown_has_configuration_table(self, report):
+        markdown = report.to_markdown()
+        assert "## Configuration" in markdown
+        assert "| finder | cooccurrence |" in markdown
+        assert "| axes | users, permissions |" in markdown
+
+    def test_config_dict_none_without_config(self, paper_example):
+        from repro.core.report import Report
+
+        bare = Report(state=paper_example, findings=[])
+        assert bare.config_dict() is None
+        assert json.loads(bare.to_json())["config"] is None
+        assert "## Configuration" not in bare.to_markdown()
+        assert "configuration:" not in bare.to_text()
+
+
+class TestMetricsRendering:
+    def test_to_dict_carries_metrics(self, report):
+        payload = json.loads(report.to_json())
+        metrics = payload["metrics"]
+        assert metrics["schema"] == 1
+        assert metrics["spans"] > 0
+        assert metrics["counters"]["findings"] == payload["n_findings"]
+        assert metrics["workers"]["mode"] == "serial"
+
+    def test_to_text_has_metrics_block(self, report):
+        text = report.to_text()
+        assert "serial mode):" in text
+        assert "matrix.ruam_nnz" in text
+
+    def test_to_markdown_has_metrics_table(self, report):
+        markdown = report.to_markdown()
+        assert "## Metrics" in markdown
+        assert "| matrix.ruam_nnz | 6 |" in markdown
+
+    def test_renderers_omit_metrics_when_absent(self, paper_example):
+        from repro.core.report import Report
+
+        bare = Report(state=paper_example, findings=[])
+        assert "metrics (" not in bare.to_text()
+        assert "## Metrics" not in bare.to_markdown()

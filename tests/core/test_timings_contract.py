@@ -1,0 +1,74 @@
+"""Contract tests for ``Report.timings`` / ``total_seconds``.
+
+These pin down guarantees the rest of the repo (benchmarks, the CLI's
+timing table, the metrics export) quietly relies on but nothing asserted
+before:
+
+* ``matrix_build`` is always present, even for an empty state;
+* the per-detector key set is identical between serial and parallel
+  runs of the same configuration;
+* for serial runs, ``total_seconds`` bounds the sum of all component
+  timings from above (parallel runs sum worker-side durations, which
+  may legitimately exceed wall-clock, so the bound is serial-only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AnalysisConfig, analyze
+
+
+def _timings(state, **kwargs):
+    return analyze(state, AnalysisConfig(**kwargs))
+
+
+class TestMatrixBuildKey:
+    def test_present_for_paper_example(self, paper_example):
+        assert "matrix_build" in _timings(paper_example).timings
+
+    def test_present_for_empty_state(self, empty_state):
+        report = _timings(empty_state)
+        assert "matrix_build" in report.timings
+        assert report.timings["matrix_build"] >= 0.0
+
+    def test_present_with_no_detectors_enabled(self, paper_example):
+        report = _timings(paper_example, enabled_types=())
+        assert list(report.timings) == ["matrix_build"]
+
+    def test_present_for_parallel_runs(self, paper_example):
+        assert "matrix_build" in _timings(paper_example, n_workers=2).timings
+
+
+class TestSerialParallelKeyParity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_same_keys_for_every_worker_count(self, paper_example, workers):
+        serial = _timings(paper_example, n_workers=1)
+        parallel = _timings(paper_example, n_workers=workers)
+        assert set(parallel.timings) == set(serial.timings)
+
+    def test_one_key_per_enabled_detector_plus_matrix_build(self, paper_example):
+        report = _timings(paper_example)
+        assert set(report.timings) == {
+            "matrix_build",
+            "standalone_nodes",
+            "disconnected_roles",
+            "single_assignment_roles",
+            "duplicate_roles",
+            "similar_roles",
+        }
+
+
+class TestTotalBoundsComponents:
+    def test_serial_total_bounds_component_sum(self, paper_example):
+        report = _timings(paper_example)
+        assert report.total_seconds >= sum(report.timings.values()) - 1e-9
+
+    def test_serial_total_bounds_on_empty_state(self, empty_state):
+        report = _timings(empty_state)
+        assert report.total_seconds >= sum(report.timings.values()) - 1e-9
+
+    def test_all_timings_non_negative(self, paper_example):
+        report = _timings(paper_example, n_workers=2)
+        assert all(v >= 0.0 for v in report.timings.values())
+        assert report.total_seconds >= 0.0

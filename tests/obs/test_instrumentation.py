@@ -1,0 +1,198 @@
+"""Integration tests: the pipeline's span trees and counters.
+
+Covers the observability acceptance criteria: the engine's span
+hierarchy, serial-vs-parallel counter parity, deterministic parallel
+traces (modulo durations), and the opt-in memory counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AnalysisConfig, AnalysisEngine, analyze
+from repro.obs import Recorder, current_recorder, tree_signature, use_recorder
+
+
+def _trace(state, recorder=None, **config_kwargs):
+    recorder = recorder or Recorder()
+    engine = AnalysisEngine(AnalysisConfig(**config_kwargs))
+    report = engine.analyze(state, recorder=recorder)
+    assert len(recorder.traces) == 1
+    return report, recorder.traces[0], recorder
+
+
+class TestSerialSpanTree:
+    def test_root_span_and_attributes(self, paper_example):
+        _, root, _ = _trace(paper_example)
+        assert root.name == "engine.analyze"
+        assert root.attributes["finder"] == "cooccurrence"
+        assert root.attributes["n_workers"] == 1
+        assert root.attributes["n_roles"] == paper_example.n_roles
+
+    def test_children_are_matrix_build_then_detectors(self, paper_example):
+        _, root, _ = _trace(paper_example)
+        names = [c.name for c in root.children]
+        assert names[0] == "engine.matrix_build"
+        assert names[1:] == [
+            "detector:standalone_nodes",
+            "detector:disconnected_roles",
+            "detector:single_assignment_roles",
+            "detector:duplicate_roles",
+            "detector:similar_roles",
+        ]
+
+    def test_matrix_counters_match_state(self, paper_example):
+        _, root, _ = _trace(paper_example)
+        build = root.children[0]
+        assert build.counters["matrix.ruam_nnz"] == 6
+        assert build.counters["matrix.rpam_nnz"] == 8
+
+    def test_grouping_detectors_have_axis_and_finder_spans(self, paper_example):
+        _, root, recorder = _trace(paper_example)
+        paths = [p for p, _, _ in root.walk()]
+        dup = "engine.analyze/detector:duplicate_roles"
+        assert f"{dup}/axis:users" in paths
+        assert f"{dup}/axis:users/finder:cooccurrence" in paths
+        totals = recorder.counter_totals()
+        assert totals["cooccurrence.blocks"] >= 1
+        assert totals["cooccurrence.candidate_pairs"] >= 1
+
+    def test_finding_counters_match_report(self, paper_example):
+        report, root, recorder = _trace(paper_example)
+        assert recorder.counter_totals()["findings"] == len(report.findings)
+
+    def test_timings_are_span_durations(self, paper_example):
+        report, root, _ = _trace(paper_example)
+        by_name = {c.name: c for c in root.children}
+        assert report.timings["matrix_build"] == (
+            by_name["engine.matrix_build"].duration
+        )
+        assert report.timings["duplicate_roles"] == (
+            by_name["detector:duplicate_roles"].duration
+        )
+        assert report.total_seconds == root.duration
+
+    def test_engine_without_recorder_still_populates_metrics(self, paper_example):
+        report = analyze(paper_example)
+        assert report.metrics["schema"] == 1
+        assert report.metrics["spans"] > 0
+        assert report.metrics["workers"]["mode"] == "serial"
+        assert "findings" in report.metrics["counters"]
+
+    def test_engine_adopts_installed_recorder(self, paper_example):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            analyze(paper_example)
+        assert [t.name for t in recorder.traces] == ["engine.analyze"]
+
+
+class TestDbscanInstrumentation:
+    def test_fit_and_expand_counters(self, paper_example):
+        _, root, recorder = _trace(paper_example, finder="dbscan")
+        paths = {p for p, _, _ in root.walk()}
+        assert any(p.endswith("finder:dbscan/dbscan.fit") for p in paths)
+        totals = recorder.counter_totals()
+        assert totals["dbscan.points"] >= 1
+        assert 1 <= totals["dbscan.seed_queries"] <= totals["dbscan.points"]
+        # Expansion queries live on dbscan.expand child spans, seed
+        # queries on dbscan.fit — no query is counted twice.
+        assert totals["dbscan.clusters"] >= 1
+        assert totals["dbscan.cluster_members"] >= 2
+
+
+class TestSerialParallelParity:
+    def test_counter_totals_equal(self, paper_example):
+        _, _, serial = _trace(paper_example, n_workers=1)
+        _, _, parallel = _trace(paper_example, n_workers=2)
+        assert parallel.counter_totals() == serial.counter_totals()
+
+    def test_parallel_trace_is_deterministic(self, paper_example):
+        _, root_a, _ = _trace(paper_example, n_workers=2)
+        _, root_b, _ = _trace(paper_example, n_workers=2)
+        assert tree_signature(root_a) == tree_signature(root_b)
+
+    def test_parallel_grafts_detector_fragments_in_order(self, paper_example):
+        _, root, _ = _trace(paper_example, n_workers=2)
+        par = next(c for c in root.children if c.name == "engine.detect_parallel")
+        grafted = [c.name for c in par.children if c.name.startswith("detector:")]
+        # Partition order: one fragment per (detector, axis) work item,
+        # detectors in serial order, axes in configured order.
+        assert grafted == [
+            "detector:standalone_nodes",
+            "detector:disconnected_roles",
+            "detector:single_assignment_roles",
+            "detector:duplicate_roles",
+            "detector:duplicate_roles",
+            "detector:similar_roles",
+            "detector:similar_roles",
+        ]
+
+    def test_parallel_timings_same_keys_as_serial(self, paper_example):
+        serial_report, _, _ = _trace(paper_example, n_workers=1)
+        parallel_report, _, _ = _trace(paper_example, n_workers=2)
+        assert set(parallel_report.timings) == set(serial_report.timings)
+
+    def test_parallel_metrics_have_worker_breakdown(self, paper_example):
+        report, _, _ = _trace(paper_example, n_workers=2)
+        workers = report.metrics["workers"]
+        assert workers == {
+            "requested": 2,
+            "resolved": 2,
+            "mode": "parallel",
+            "per_worker": workers["per_worker"],
+        }
+        assert sum(w["items"] for w in workers["per_worker"]) == 7
+        assert all(w["seconds"] >= 0 for w in workers["per_worker"])
+
+    def test_worker_identity_never_on_spans(self, paper_example):
+        _, root, _ = _trace(paper_example, n_workers=2)
+        for _, _, span in root.walk():
+            assert "pid" not in span.attributes
+            assert "worker" not in span.attributes
+
+
+class TestMemoryCounters:
+    def test_block_peak_bytes_only_when_opted_in(self, paper_example):
+        _, _, plain = _trace(paper_example)
+        assert "cooccurrence.block_peak_bytes" not in plain.counter_totals()
+
+        recorder = Recorder(measure_memory=True)
+        _, _, _ = _trace(paper_example, recorder=recorder)
+        totals = recorder.counter_totals()
+        assert totals["cooccurrence.block_peak_bytes"] > 0
+
+    def test_measure_memory_propagates_to_workers(self, paper_example):
+        recorder = Recorder(measure_memory=True)
+        _trace(paper_example, recorder=recorder, n_workers=2)
+        assert recorder.counter_totals()["cooccurrence.block_peak_bytes"] > 0
+
+
+class TestBenchharnessIntegration:
+    def test_time_call_captures_engine_spans(self, paper_example):
+        from repro.benchharness import time_call
+
+        recorder = Recorder()
+        stats, report = time_call(
+            lambda: analyze(paper_example), repeats=2, recorder=recorder
+        )
+        assert stats.n == 2
+        assert len(recorder.traces) == 2
+        for trace in recorder.traces:
+            assert trace.name == "bench.run"
+            assert [c.name for c in trace.children] == ["engine.analyze"]
+        assert report.metrics["counters"]["findings"] == len(report.findings)
+
+    def test_time_call_without_recorder_unchanged(self):
+        from repro.benchharness import time_call
+
+        stats, result = time_call(lambda: 42, repeats=3)
+        assert result == 42
+        assert stats.n == 3
+
+
+class TestEmptyState:
+    def test_empty_state_trace_is_well_formed(self, empty_state):
+        report, root, recorder = _trace(empty_state)
+        assert root.children[0].name == "engine.matrix_build"
+        assert report.timings["matrix_build"] >= 0.0
+        assert recorder.counter_totals()["findings"] == 0

@@ -1,0 +1,177 @@
+"""Unit tests for spans and recorders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Span,
+    counter_totals,
+    current_recorder,
+    span_count,
+    tree_signature,
+    use_recorder,
+)
+
+
+class TestSpan:
+    def test_add_accumulates(self):
+        span = Span("s")
+        span.add("hits")
+        span.add("hits", 2)
+        assert span.counters == {"hits": 3}
+
+    def test_annotate_merges(self):
+        span = Span("s", attributes={"a": 1})
+        span.annotate(b=2)
+        assert span.attributes == {"a": 1, "b": 2}
+
+    def test_walk_preorder_paths(self):
+        root = Span("root", children=[
+            Span("a", children=[Span("leaf")]),
+            Span("b"),
+        ])
+        assert [(p, d) for p, d, _ in root.walk()] == [
+            ("root", 0),
+            ("root/a", 1),
+            ("root/a/leaf", 2),
+            ("root/b", 1),
+        ]
+
+    def test_dict_round_trip(self):
+        root = Span(
+            "root",
+            start=0.5,
+            duration=1.25,
+            attributes={"k": "v"},
+            counters={"c": 3},
+            children=[Span("child", counters={"c": 1})],
+        )
+        clone = Span.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+
+    def test_counter_totals_sum_subtree(self):
+        root = Span("root", counters={"x": 1}, children=[
+            Span("a", counters={"x": 2, "y": 5}),
+            Span("b", children=[Span("c", counters={"y": 1})]),
+        ])
+        assert counter_totals(root) == {"x": 3, "y": 6}
+        assert span_count(root) == 4
+
+    def test_tree_signature_ignores_durations(self):
+        a = Span("root", duration=1.0, children=[Span("c", duration=2.0)])
+        b = Span("root", duration=9.0, children=[Span("c", duration=0.1)])
+        assert tree_signature(a) == tree_signature(b)
+
+
+class TestRecorder:
+    def test_nested_spans_form_tree(self):
+        recorder = Recorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                inner.add("n", 2)
+        assert recorder.traces == [outer]
+        assert outer.children == [inner]
+        assert outer.duration >= inner.duration >= 0
+
+    def test_start_is_root_relative(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner") as inner:
+                pass
+        root = recorder.traces[0]
+        assert root.start == 0.0
+        assert inner.start >= 0.0
+
+    def test_sibling_spans(self):
+        recorder = Recorder()
+        with recorder.span("root"):
+            with recorder.span("a"):
+                pass
+            with recorder.span("b"):
+                pass
+        assert [c.name for c in recorder.traces[0].children] == ["a", "b"]
+
+    def test_exception_annotates_and_propagates(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("nope")
+        assert recorder.traces[0].attributes["error"] == "ValueError"
+
+    def test_sinks_receive_each_completed_trace(self):
+        emitted = []
+
+        class FakeSink:
+            def emit(self, root):
+                emitted.append(root.name)
+
+        recorder = Recorder(sinks=[FakeSink()])
+        with recorder.span("one"):
+            pass
+        with recorder.span("two"):
+            with recorder.span("nested"):
+                pass
+        assert emitted == ["one", "two"]
+
+    def test_graft_attaches_under_current_span(self):
+        recorder = Recorder()
+        fragment = Span("worker", counters={"w": 1}).to_dict()
+        with recorder.span("root"):
+            recorder.graft(fragment)
+        root = recorder.traces[0]
+        assert [c.name for c in root.children] == ["worker"]
+        assert recorder.counter_totals() == {"w": 1}
+
+    def test_graft_outside_span_becomes_trace(self):
+        recorder = Recorder()
+        recorder.graft(Span("orphan").to_dict())
+        assert [t.name for t in recorder.traces] == ["orphan"]
+
+    def test_counter_totals_across_traces(self):
+        recorder = Recorder()
+        for _ in range(2):
+            with recorder.span("t") as span:
+                span.add("c", 2)
+        assert recorder.counter_totals() == {"c": 4}
+        assert recorder.span_count() == 2
+
+
+class TestNullRecorder:
+    def test_everything_is_a_no_op(self):
+        null = NullRecorder()
+        with null.span("anything", attr=1) as span:
+            span.add("c", 5)
+            span.annotate(x=2)
+        assert null.traces == []
+        assert null.counter_totals() == {}
+        assert null.span_count() == 0
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.measure_memory is False
+
+
+class TestCurrentRecorder:
+    def test_defaults_to_null(self):
+        assert current_recorder() is NULL_RECORDER
+
+    def test_use_recorder_installs_and_restores(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            assert current_recorder() is recorder
+            nested = Recorder()
+            with use_recorder(nested):
+                assert current_recorder() is nested
+            assert current_recorder() is recorder
+        assert current_recorder() is NULL_RECORDER
+
+    def test_restored_after_exception(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with use_recorder(recorder):
+                raise RuntimeError
+        assert current_recorder() is NULL_RECORDER

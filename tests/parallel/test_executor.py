@@ -90,3 +90,39 @@ class TestValidation:
     def test_bad_chunksize_rejected(self):
         with pytest.raises(ConfigurationError):
             ParallelExecutor(n_workers=2, chunksize=0)
+
+
+class TestValidateWorkers:
+    def test_none_passes_through(self):
+        from repro.parallel import validate_workers
+
+        assert validate_workers(None) is None
+
+    def test_valid_counts_normalised_to_int(self):
+        from repro.parallel import validate_workers
+
+        assert validate_workers(1) == 1
+        assert validate_workers(8) == 8
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_rejects_non_positive(self, bad):
+        from repro.parallel import validate_workers
+
+        with pytest.raises(ConfigurationError, match="n_workers must be >= 1"):
+            validate_workers(bad)
+
+    def test_message_identical_to_engine_config(self):
+        """AnalysisConfig and the executor share one validation helper,
+        so a bad worker count reads the same wherever it is caught."""
+        from repro.core.engine import AnalysisConfig
+        from repro.parallel import validate_workers
+
+        with pytest.raises(ConfigurationError) as from_helper:
+            validate_workers(0)
+        with pytest.raises(ConfigurationError) as from_config:
+            AnalysisConfig(n_workers=0)
+        assert str(from_helper.value) == str(from_config.value)
+
+    def test_resolve_workers_routes_through_validation(self):
+        with pytest.raises(ConfigurationError, match="n_workers must be >= 1"):
+            resolve_workers(-2)

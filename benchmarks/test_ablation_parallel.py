@@ -88,6 +88,59 @@ def test_blocked_kernel_bounds_peak_memory():
     )
 
 
+def _shadowed_state() -> RbacState:
+    """Dense user overlap (the big product) + a small permission pool,
+    so the shadowed detector's subset scan has real work on both axes."""
+    ruam = generate_matrix(MEMORY_SPEC).matrix
+    n_roles, n_users = ruam.shape
+    n_permissions = 50
+    return RbacState.build(
+        users=[f"u{j}" for j in range(n_users)],
+        roles=[f"r{i}" for i in range(n_roles)],
+        permissions=[f"p{j}" for j in range(n_permissions)],
+        user_assignments=[
+            (f"r{i}", f"u{j}") for i, j in zip(*ruam.nonzero())
+        ],
+        permission_assignments=[
+            (f"r{i}", f"p{i % n_permissions}") for i in range(n_roles)
+        ],
+    )
+
+
+def test_workspace_blocked_scan_bounds_shadowed_peak_memory():
+    """Shadowed detection inherits the blocking memory bound.
+
+    The detector reads subset pairs from the workspace's blocked scan
+    instead of materialising the full ``M @ Mᵀ`` product, so setting
+    ``block_rows`` bounds its peak by the densest single block — same
+    reports, fraction of the memory.
+    """
+    from repro.core.taxonomy import InefficiencyType
+
+    state = _shadowed_state()
+    shadowed_only = (InefficiencyType.SHADOWED_ROLE,)
+    monolithic = AnalysisEngine(
+        AnalysisConfig(enabled_types=shadowed_only)
+    )
+    blocked = AnalysisEngine(
+        AnalysisConfig(enabled_types=shadowed_only, block_rows=32)
+    )
+
+    report_monolithic = monolithic.analyze(state)
+    report_blocked = blocked.analyze(state)
+    assert report_blocked.counts() == report_monolithic.counts()
+    assert [f.entity_ids for f in report_blocked.findings] == [
+        f.entity_ids for f in report_monolithic.findings
+    ]
+
+    peak_monolithic = _peak_bytes(lambda: monolithic.analyze(state))
+    peak_blocked = _peak_bytes(lambda: blocked.analyze(state))
+    assert peak_blocked < 0.6 * peak_monolithic, (
+        f"blocked shadowed peak {peak_blocked} not below 60% of "
+        f"monolithic peak {peak_monolithic}"
+    )
+
+
 @pytest.mark.benchmark(group="ablation-block-rows")
 @pytest.mark.parametrize("block_rows", [None, 512, 64, 8])
 def test_block_rows_wall_clock(benchmark, block_rows):

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Lint: detectors must read co-occurrence data through the workspace.
+
+Walks every module under ``src/repro/core/detectors/`` and fails when it
+finds a direct call to ``cooccurrence(...)`` (or any reference to
+``bitmatrix.cooccurrence`` / an import of it).  Computing ``M·Mᵀ``
+inline is exactly the drift this rule guards against: every detector
+that needs candidate pairs must go through
+:class:`repro.core.workspace.AxisWorkspace` (``matched_pairs`` /
+``subset_pairs``), so the product stays one blocked, memoised pass per
+axis — recomputing it privately silently discards the memory bound and
+the exactly-once guarantee asserted by the parity suite.
+
+AST-based (not grep) so comments, docstrings, and the word
+"co-occurrence" in prose never false-positive.
+
+Usage: ``python scripts/check_workspace_discipline.py [DETECTORS_DIR]``
+Exit code 0 when clean, 1 with one ``file:line`` diagnostic per hit.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+BANNED = "cooccurrence"
+
+
+def violations_in(path: Path) -> list[tuple[int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == BANNED:
+                found.append((node.lineno, "direct cooccurrence() call"))
+            elif isinstance(func, ast.Attribute) and func.attr == BANNED:
+                found.append(
+                    (node.lineno, "direct <module>.cooccurrence() call")
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if any(alias.name == BANNED for alias in node.names):
+                found.append(
+                    (
+                        node.lineno,
+                        f"import of {BANNED!r} from {node.module or '.'}",
+                    )
+                )
+    return found
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path("src/repro/core/detectors")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    status = 0
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        checked += 1
+        for lineno, message in violations_in(path):
+            print(
+                f"{path}:{lineno}: {message} — candidate pairs must come "
+                "from the AxisWorkspace (matched_pairs / subset_pairs)",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print(
+            "clean: no direct cooccurrence access in "
+            f"{checked} detector modules"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

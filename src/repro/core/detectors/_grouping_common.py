@@ -38,9 +38,7 @@ def find_role_groups(
     if skip_empty_rows:
         submatrix, original = nonempty_submatrix(matrix)
         groups = finder.find_groups(submatrix, max_differences)
-        index_groups = [
-            [int(original[member]) for member in group] for group in groups
-        ]
+        index_groups = [np.take(original, group).tolist() for group in groups]
     else:
         index_groups = finder.find_groups(matrix, max_differences)
     return matrix.groups_to_ids(index_groups)

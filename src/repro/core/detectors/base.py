@@ -32,6 +32,18 @@ class AnalysisContext:
         """Role-Permission Assignment Matrix (built on first access)."""
         return AssignmentMatrix.rpam(self.state)
 
+    @cached_property
+    def workspace(self):
+        """Shared per-axis artifact workspace (built on first access).
+
+        A cached property, so warmed artifacts travel with the context
+        wherever it goes — including the copy (fork-inherited or pickled) shipped to parallel
+        detection workers.  See :mod:`repro.core.workspace`.
+        """
+        from repro.core.workspace import AnalysisWorkspace
+
+        return AnalysisWorkspace(self)
+
 
 class Detector(ABC):
     """Detects one inefficiency type over an :class:`AnalysisContext`."""
@@ -45,6 +57,20 @@ class Detector(ABC):
 
         Implementations must be read-only with respect to the state and
         deterministic: equal inputs yield equal findings in equal order.
+        """
+
+    def warm(self, context: AnalysisContext) -> None:
+        """Pre-build (or request) the workspace artifacts detection reads.
+
+        The engine calls this for every enabled detector *before* any
+        ``detect`` runs, then flushes the aggregated scan requests — the
+        two-phase protocol that lets duplicates, similar, and shadowed
+        share a single co-occurrence pass per axis, and that materialises
+        artifacts in the parent before contexts are shipped to parallel
+        workers.  Must not raise on configurations ``detect`` would
+        reject (errors keep surfacing at detection time).  The default
+        warms nothing; detection must work identically on a cold
+        workspace.
         """
 
     def partition(self) -> list["Detector"]:

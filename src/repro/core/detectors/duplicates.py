@@ -7,7 +7,8 @@ detector runs a group finder with ``max_differences = 0`` on each axis.
 
 from __future__ import annotations
 
-from repro.core.detectors._grouping_common import find_role_groups
+import numpy as np
+
 from repro.core.detectors.base import AnalysisContext, Detector
 from repro.core.entities import EntityKind
 from repro.core.grouping import GroupFinder, make_group_finder
@@ -51,8 +52,17 @@ class DuplicateRolesDetector(Detector):
         findings: list[Finding] = []
         for axis in self._axes:
             matrix = context.ruam if axis is Axis.USERS else context.rpam
-            findings.extend(self._detect_axis(matrix, axis))
+            findings.extend(
+                self._detect_axis(matrix, context.workspace.axis(axis), axis)
+            )
         return findings
+
+    def warm(self, context: AnalysisContext) -> None:
+        """Register the k = 0 scan need on every analysed axis."""
+        for axis in self._axes:
+            workspace = context.workspace.axis(axis)
+            if workspace.n_rows:
+                self._finder.warm(workspace, 0)
 
     def partition(self) -> list["DuplicateRolesDetector"]:
         """One independent work unit per analysed axis."""
@@ -64,7 +74,7 @@ class DuplicateRolesDetector(Detector):
         ]
 
     def _detect_axis(
-        self, matrix: AssignmentMatrix, axis: Axis
+        self, matrix: AssignmentMatrix, workspace, axis: Axis
     ) -> list[Finding]:
         severity = DEFAULT_SEVERITY[InefficiencyType.DUPLICATE_ROLES]
         noun = axis.value  # "users" / "permissions"
@@ -72,18 +82,28 @@ class DuplicateRolesDetector(Detector):
         with current_recorder().span(
             f"axis:{axis.value}", detector=self.name
         ) as span:
-            groups = find_role_groups(matrix, self._finder, 0)
+            if workspace.n_rows:
+                index_groups = self._finder.find_groups_in(workspace, 0)
+            else:
+                index_groups = []
+            groups = matrix.groups_to_ids(
+                [
+                    np.take(workspace.original, group).tolist()
+                    for group in index_groups
+                ]
+            )
             span.add("duplicates.groups", len(groups))
             span.add(
                 "duplicates.roles_grouped", sum(len(g) for g in groups)
             )
-        for role_ids in groups:
+        for index_group, role_ids in zip(index_groups, groups):
             group = RoleGroup(
                 role_ids=tuple(role_ids), axis=axis, max_differences=0
             )
-            shared = (
-                matrix.csr[matrix.row_index(role_ids[0])].indices
-            )
+            # Every member of the group has the same row content; the
+            # shared-element count is the first member's norm, read from
+            # the workspace instead of re-slicing the CSR per group.
+            shared_count = int(workspace.norms[index_group[0]])
             findings.append(
                 Finding(
                     type=InefficiencyType.DUPLICATE_ROLES,
@@ -92,14 +112,14 @@ class DuplicateRolesDetector(Detector):
                     severity=severity,
                     message=(
                         f"{len(role_ids)} roles share the same "
-                        f"{len(shared)} {noun}: {', '.join(role_ids[:5])}"
+                        f"{shared_count} {noun}: {', '.join(role_ids[:5])}"
                         + ("…" if len(role_ids) > 5 else "")
                     ),
                     axis=axis,
                     group=group,
                     details={
                         "group_size": len(role_ids),
-                        "shared_count": int(len(shared)),
+                        "shared_count": shared_count,
                         "redundant_roles": group.redundant_count,
                     },
                 )

@@ -23,9 +23,13 @@ matrices ``Cᵘ = Mᵘ·Mᵘᵀ`` and ``Cᵖ = Mᵖ·Mᵖᵀ``,
 
 so candidate pairs come straight from the stored entries of the two
 sparse products — the same trick that makes the paper's algorithm fast.
-Exact duplicates (mutual shadowing) are excluded: those are type 4 and
-handled by the merge planner; roles with an empty side are excluded:
-those are types 1-2.
+The pairs are read from the shared per-axis workspace
+(:attr:`repro.core.workspace.AxisWorkspace.subset_pairs`), whose blocked
+scan both bounds peak memory by ``block_rows`` and is shared with the
+duplicate/similar detectors — one co-occurrence pass per axis serves all
+three.  Exact duplicates (mutual shadowing) are excluded: those are
+type 4 and handled by the merge planner; roles with an empty side are
+excluded: those are types 1-2.
 
 This is an *extension*: it is not part of the paper's five-type taxonomy
 and is disabled by default (enable via
@@ -34,8 +38,6 @@ or ``AnalysisConfig.with_extensions()``).
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.core.detectors.base import AnalysisContext, Detector
 from repro.core.entities import EntityKind
@@ -51,9 +53,18 @@ class ShadowedRoleDetector(Detector):
 
     name = "shadowed_roles"
 
-    def detect(self, context: AnalysisContext) -> list[Finding]:
-        from repro.bitmatrix import cooccurrence
+    def warm(self, context: AnalysisContext) -> None:
+        """Register the subset-pair scan need on both axes."""
+        user_norms = context.ruam.row_sums
+        permission_norms = context.rpam.row_sums
+        if not ((user_norms > 0) & (permission_norms > 0)).any():
+            return
+        for axis in ("users", "permissions"):
+            workspace = context.workspace.axis(axis)
+            if workspace.n_rows:
+                workspace.request_scan(subsets=True)
 
+    def detect(self, context: AnalysisContext) -> list[Finding]:
         ruam = context.ruam
         rpam = context.rpam
         user_norms = ruam.row_sums
@@ -64,26 +75,28 @@ class ShadowedRoleDetector(Detector):
         if not eligible.any():
             return []
 
-        user_cooc = cooccurrence(ruam.csr).tocoo()
-        permission_subset_pairs = _subset_pairs(
-            cooccurrence(rpam.csr).tocoo(), permission_norms
+        # Directed subset pairs per axis, from the shared blocked scan.
+        # Empty rows never contribute stored co-occurrence entries, so
+        # the workspace's nonempty-submatrix restriction (mapped back to
+        # full-matrix indices) loses no candidates.
+        candidate_rows, candidate_cols = context.workspace.axis(
+            "users"
+        ).subset_pairs
+        permission_rows, permission_cols = context.workspace.axis(
+            "permissions"
+        ).subset_pairs
+        permission_subset_pairs = set(
+            zip(permission_rows.tolist(), permission_cols.tolist())
         )
 
         severity = DEFAULT_SEVERITY[InefficiencyType.SHADOWED_ROLE]
         findings: list[Finding] = []
         seen_shadowed: set[int] = set()
 
-        # users(r) ⊆ users(s) candidates, scanned in deterministic order.
-        rows = user_cooc.row
-        cols = user_cooc.col
-        shared = user_cooc.data
-        user_subset = shared == user_norms[rows]
-        order = np.lexsort((cols[user_subset], rows[user_subset]))
-        candidate_rows = rows[user_subset][order]
-        candidate_cols = cols[user_subset][order]
-
+        # users(r) ⊆ users(s) candidates, scanned in deterministic
+        # (lexicographic) order — the workspace artifact is pre-sorted.
         for r, s in zip(candidate_rows.tolist(), candidate_cols.tolist()):
-            if r == s or r in seen_shadowed:
+            if r in seen_shadowed:
                 continue
             if not (eligible[r] and eligible[s]):
                 continue
@@ -119,12 +132,3 @@ class ShadowedRoleDetector(Detector):
 
         findings.sort(key=lambda f: f.entity_ids)
         return findings
-
-
-def _subset_pairs(cooc, norms: np.ndarray) -> set[tuple[int, int]]:
-    """(r, s) pairs with row r's set a subset of row s's set (r != s)."""
-    rows = cooc.row
-    cols = cooc.col
-    shared = cooc.data
-    mask = (shared == norms[rows]) & (rows != cols)
-    return set(zip(rows[mask].tolist(), cols[mask].tolist()))

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitmatrix import csr_row_keys
-from repro.core.detectors._grouping_common import nonempty_submatrix
 from repro.core.detectors.base import AnalysisContext, Detector
 from repro.core.entities import EntityKind
 from repro.core.grouping import GroupFinder, make_group_finder
@@ -74,8 +72,23 @@ class SimilarRolesDetector(Detector):
         findings: list[Finding] = []
         for axis in self._axes:
             matrix = context.ruam if axis is Axis.USERS else context.rpam
-            findings.extend(self._detect_axis(matrix, axis))
+            findings.extend(
+                self._detect_axis(matrix, context.workspace.axis(axis), axis)
+            )
         return findings
+
+    def warm(self, context: AnalysisContext) -> None:
+        """Register the finder's needs on the (collapsed) view per axis."""
+        for axis in self._axes:
+            workspace = context.workspace.axis(axis)
+            if workspace.n_rows == 0:
+                continue
+            view = (
+                workspace.collapsed()
+                if self._collapse_duplicates
+                else workspace
+            )
+            self._finder.warm(view, self._max_differences)
 
     def partition(self) -> list["SimilarRolesDetector"]:
         """One independent work unit per analysed axis."""
@@ -92,30 +105,30 @@ class SimilarRolesDetector(Detector):
         ]
 
     def _detect_axis(
-        self, matrix: AssignmentMatrix, axis: Axis
+        self, matrix: AssignmentMatrix, workspace, axis: Axis
     ) -> list[Finding]:
         with current_recorder().span(
             f"axis:{axis.value}", detector=self.name
         ) as span:
-            submatrix, original = nonempty_submatrix(matrix)
-            if submatrix.shape[0] == 0:
+            if workspace.n_rows == 0:
                 return []
 
             if self._collapse_duplicates:
-                representatives, class_sizes = _first_occurrences(submatrix)
-                analysed = submatrix[representatives]
-                to_original = original[representatives]
+                view = workspace.collapsed()
+                class_sizes = view.class_sizes
                 span.add(
                     "similar.collapsed_rows",
-                    int(submatrix.shape[0] - len(representatives)),
+                    int(workspace.n_rows - view.n_rows),
                 )
             else:
-                analysed = submatrix
-                to_original = original
-                class_sizes = np.ones(submatrix.shape[0], dtype=np.int64)
-            span.add("similar.rows_analysed", int(analysed.shape[0]))
+                view = workspace
+                class_sizes = np.ones(workspace.n_rows, dtype=np.int64)
+            to_original = view.original
+            span.add("similar.rows_analysed", int(view.n_rows))
 
-            groups = self._finder.find_groups(analysed, self._max_differences)
+            groups = self._finder.find_groups_in(
+                view, self._max_differences
+            )
             span.add("similar.groups", len(groups))
 
         severity = DEFAULT_SEVERITY[InefficiencyType.SIMILAR_ROLES]
@@ -153,27 +166,3 @@ class SimilarRolesDetector(Detector):
                 )
             )
         return findings
-
-
-def _first_occurrences(submatrix) -> tuple[np.ndarray, np.ndarray]:
-    """Representative row per distinct content, plus class sizes.
-
-    Returns ``(representatives, class_sizes)`` where ``representatives``
-    holds the first row index of each distinct row content (in first-seen
-    order) and ``class_sizes[i]`` counts how many rows share the content
-    of representative ``i``.
-    """
-    buckets: dict[bytes, int] = {}
-    representatives: list[int] = []
-    sizes: list[int] = []
-    for row_index, key in enumerate(csr_row_keys(submatrix)):
-        slot = buckets.get(key)
-        if slot is None:
-            buckets[key] = len(representatives)
-            representatives.append(row_index)
-            sizes.append(1)
-        else:
-            sizes[slot] += 1
-    return np.asarray(representatives, dtype=np.intp), np.asarray(
-        sizes, dtype=np.int64
-    )

@@ -144,6 +144,20 @@ class AnalysisEngine:
     def __init__(self, config: AnalysisConfig | None = None) -> None:
         self.config = config or AnalysisConfig()
         self._detectors = self._build_detectors(self.config)
+        # Blocked-scan shape for the shared workspace.  The finder-level
+        # options win for the cooccurrence finder (they already default
+        # to the engine-level block_rows via _build_detectors); for other
+        # finders the engine knob still bounds the workspace scan that
+        # serves the shadowed detector.
+        finder_options = dict(self.config.finder_options)
+        if self.config.finder == "cooccurrence":
+            self._scan_block_rows = finder_options.get(
+                "block_rows", self.config.block_rows
+            )
+            self._scan_workers = finder_options.get("n_workers", 1)
+        else:
+            self._scan_block_rows = self.config.block_rows
+            self._scan_workers = 1
 
     @staticmethod
     def _build_detectors(config: AnalysisConfig) -> list[Detector]:
@@ -240,6 +254,29 @@ class AnalysisEngine:
                     build_span.add("matrix.ruam_nnz", int(context.ruam.csr.nnz))
                     build_span.add("matrix.rpam_nnz", int(context.rpam.csr.nnz))
                 timings["matrix_build"] = build_span.duration
+                # Warm the shared workspace before any detection runs:
+                # every detector registers what it needs (scan thresholds,
+                # subset pairs, dense/signature artifacts), then the
+                # aggregated requests are flushed — one blocked
+                # co-occurrence pass per axis serves duplicates, similar,
+                # and shadowed alike.  Warming happens in the parent on
+                # the parallel path too, so the shipped context carries hot
+                # artifacts to every worker.
+                warmable = [
+                    d
+                    for d in self._detectors
+                    if type(d).warm is not Detector.warm
+                ]
+                if warmable:
+                    context.workspace.configure(
+                        block_rows=self._scan_block_rows,
+                        n_workers=self._scan_workers,
+                    )
+                    with recorder.span("engine.workspace_warm") as warm_span:
+                        for detector in warmable:
+                            detector.warm(context)
+                        context.workspace.flush()
+                    timings["workspace_warm"] = warm_span.duration
                 if n_workers > 1:
                     worker_stats = self._detect_parallel(
                         context, n_workers, findings, timings, recorder
@@ -355,6 +392,14 @@ _WORKER_MEASURE_MEMORY: bool = False
 def _init_detection_worker(
     context: AnalysisContext, measure_memory: bool = False
 ) -> None:
+    """Install the shared context (and its workspace) in this worker.
+
+    The context arrives with whatever the engine's warm phase
+    materialised — matrices plus the per-axis workspace artifacts — so
+    it lands here exactly once per worker process and every
+    (detector × axis) work item scheduled here lands on warm artifacts
+    instead of re-deriving them.
+    """
     global _WORKER_CONTEXT, _WORKER_MEASURE_MEMORY
     _WORKER_CONTEXT = context
     _WORKER_MEASURE_MEMORY = measure_memory

@@ -58,6 +58,23 @@ class HnswGroupFinder(GroupFinder):
     ) -> list[list[int]]:
         k = self._check_threshold(max_differences)
         dense = self._dense_of(matrix)
+        return self._group_dense(dense, k)
+
+    def find_groups_in(
+        self, view: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Index the view's shared dense artifact (no re-densify)."""
+        k = self._check_threshold(max_differences)
+        if view.n_rows == 0:
+            return []
+        return self._group_dense(view.dense, k)
+
+    def warm(self, view: Any, max_differences: int = 0) -> None:
+        """Materialise the dense artifact the index is built over."""
+        if view.n_rows:
+            view.dense
+
+    def _group_dense(self, dense: Any, k: int) -> list[list[int]]:
         n_rows = dense.shape[0]
         if n_rows == 0:
             return []

@@ -48,6 +48,38 @@ class GroupFinder(ABC):
         """Return groups of row indices (see class docstring)."""
 
     # ------------------------------------------------------------------
+    # Workspace-backed entry points
+    # ------------------------------------------------------------------
+    def find_groups_in(
+        self, view: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Find groups over a workspace view's shared artifacts.
+
+        ``view`` is an :class:`repro.core.workspace.AxisWorkspace` (or
+        its collapsed variant); implementations override this to consume
+        memoised artifacts — packed rows, signatures, the shared
+        co-occurrence scan — instead of re-deriving them from a raw
+        matrix.  Results must be identical to
+        ``find_groups(view.csr, max_differences)``, the fallback used
+        here.  Same group-ordering contract as :meth:`find_groups`.
+        """
+        if view.n_rows == 0:
+            return []
+        return self.find_groups(view.csr, max_differences)
+
+    def warm(self, view: Any, max_differences: int = 0) -> None:
+        """Pre-build (or request) the artifacts a later
+        :meth:`find_groups_in` call with the same threshold will read.
+
+        Called by the engine's warm phase *before* any detection runs so
+        that scan requests from every detector aggregate into one
+        co-occurrence pass per axis, and so that parallel workers
+        receive materialised artifacts.  Must not raise for thresholds
+        the finder rejects — configuration errors keep surfacing at
+        detection time.  The default warms nothing.
+        """
+
+    # ------------------------------------------------------------------
     # Input normalisation shared by implementations
     # ------------------------------------------------------------------
     @staticmethod

@@ -49,34 +49,49 @@ from repro.util import DisjointSet
 #: (shipped once per worker, not once per block).
 _WORKER_STATE: dict[str, Any] = {}
 
+_EMPTY = np.empty(0, dtype=np.int64)
+
 
 def _init_block_worker(
     csr: sp.csr_matrix,
     csr_t: sp.csr_matrix,
     norms: npt.NDArray[np.int64],
-    k: int,
+    k: int | None,
     measure_memory: bool = False,
+    collect_subsets: bool = False,
 ) -> None:
     _WORKER_STATE["csr"] = csr
     _WORKER_STATE["csr_t"] = csr_t
     _WORKER_STATE["norms"] = norms
     _WORKER_STATE["k"] = k
     _WORKER_STATE["measure_memory"] = measure_memory
+    _WORKER_STATE["collect_subsets"] = collect_subsets
 
 
-def _block_matching_pairs(
+def _scan_block(
     csr: sp.csr_matrix,
     csr_t: sp.csr_matrix,
     norms: npt.NDArray[np.int64],
-    k: int,
+    k: int | None,
+    collect_subsets: bool,
     start: int,
     stop: int,
-) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
-    """Matching role pairs ``(i, j)``, ``i < j``, found in one row block.
+) -> tuple[npt.NDArray[np.int64], ...]:
+    """One row block of the co-occurrence scan.
 
-    Computes ``M[start:stop] @ Mᵀ`` and applies the duplicate/similarity
-    criterion to its stored entries; the (small) matched-pair arrays are
-    all that survives the block.
+    Computes ``M[start:stop] @ Mᵀ`` and reduces its stored entries to
+
+    * the *matching* pairs ``(i, j)``, ``i < j``, at Hamming distance
+      ``<= k`` — together with their distances so callers can filter the
+      same pass down to any smaller threshold (``k is None`` skips this
+      collection entirely);
+    * when ``collect_subsets`` — the *directed* pairs ``(i, j)``,
+      ``i != j``, whose row ``i`` set is a subset of row ``j``'s
+      (``g^{ij} = |R^i|``; the shadowed-role criterion).
+
+    Returns ``(rows, cols, hamming, sub_rows, sub_cols)``; only the
+    (small) matched arrays survive the block, which is what bounds peak
+    memory at the densest single block.
 
     Each block is wrapped in a ``cooccurrence.block`` span carrying the
     per-stage counters that make the kernel's cost explainable: stored
@@ -101,19 +116,28 @@ def _block_matching_pairs(
             shared = product.data
             span.add("cooccurrence.product_nnz", int(product.nnz))
 
-            # Only consider each unordered pair once.
-            upper = rows < cols
-            rows, cols, shared = rows[upper], cols[upper], shared[upper]
-            span.add("cooccurrence.candidate_pairs", int(len(rows)))
+            sub_rows, sub_cols = _EMPTY, _EMPTY
+            if collect_subsets:
+                # g^{ij} = |R^i|  iff  R^i ⊆ R^j (diagonal excluded).
+                subset = (shared == norms[rows]) & (rows != cols)
+                sub_rows, sub_cols = rows[subset], cols[subset]
+                span.add("cooccurrence.subset_pairs", int(len(sub_rows)))
 
-            if k == 0:
-                # I[i, j] = 1 iff |R^i| = g^{ij} = |R^j|.
-                mask = (shared == norms[rows]) & (shared == norms[cols])
-            else:
-                # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij} <= k.
-                mask = (norms[rows] + norms[cols] - 2 * shared) <= k
-            rows, cols = rows[mask], cols[mask]
-            span.add("cooccurrence.matched_pairs", int(len(rows)))
+            matched_rows, matched_cols, hamming = _EMPTY, _EMPTY, _EMPTY
+            if k is not None:
+                # Only consider each unordered pair once.
+                upper = rows < cols
+                rows, cols, shared = rows[upper], cols[upper], shared[upper]
+                span.add("cooccurrence.candidate_pairs", int(len(rows)))
+
+                # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij}; for k = 0 the
+                # "<= 0" test is the paper's indicator function I[i, j]
+                # (distance zero iff equal sets of equal size).
+                distance = norms[rows] + norms[cols] - 2 * shared
+                mask = distance <= k
+                matched_rows, matched_cols = rows[mask], cols[mask]
+                hamming = distance[mask]
+                span.add("cooccurrence.matched_pairs", int(len(matched_rows)))
         finally:
             if measure:
                 span.add(
@@ -122,7 +146,20 @@ def _block_matching_pairs(
                 )
                 if started_tracing:
                     tracemalloc.stop()
-        return rows, cols
+        return matched_rows, matched_cols, hamming, sub_rows, sub_cols
+
+
+def _block_matching_pairs(
+    csr: sp.csr_matrix,
+    csr_t: sp.csr_matrix,
+    norms: npt.NDArray[np.int64],
+    k: int,
+    start: int,
+    stop: int,
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    """Matching role pairs ``(i, j)``, ``i < j``, found in one row block."""
+    rows, cols, _, _, _ = _scan_block(csr, csr_t, norms, k, False, start, stop)
+    return rows, cols
 
 
 def _pairs_of_block(bounds: tuple[int, int]) -> tuple[
@@ -144,6 +181,127 @@ def _pairs_of_block(bounds: tuple[int, int]) -> tuple[
             *bounds,
         )
     return rows, cols, local.traces[-1].to_dict()
+
+
+def _scan_of_block(bounds: tuple[int, int]) -> tuple[
+    tuple[npt.NDArray[np.int64], ...], dict[str, Any]
+]:
+    """Process-pool task for :func:`blocked_scan` (full scan results)."""
+    local = Recorder(measure_memory=_WORKER_STATE.get("measure_memory", False))
+    with use_recorder(local):
+        arrays = _scan_block(
+            _WORKER_STATE["csr"],
+            _WORKER_STATE["csr_t"],
+            _WORKER_STATE["norms"],
+            _WORKER_STATE["k"],
+            _WORKER_STATE["collect_subsets"],
+            *bounds,
+        )
+    return arrays, local.traces[-1].to_dict()
+
+
+def blocked_scan(
+    csr: sp.csr_matrix,
+    norms: npt.NDArray[np.int64],
+    k: int | None = None,
+    collect_subsets: bool = False,
+    block_rows: int | None = None,
+    n_workers: int | None = 1,
+) -> "ScanResult":
+    """One blocked pass over ``C = M·Mᵀ``, reduced to reusable pairs.
+
+    The single entry point behind both the type-4/5 grouping criteria
+    and the shadowed-role subset criterion: everything every detector
+    needs from the co-occurrence product is collected in *one* pass, so
+    the product is never recomputed per consumer (the workspace layer
+    memoises the result; see :mod:`repro.core.workspace`).
+
+    Per block the product is immediately reduced (matched pairs with
+    their Hamming distances, plus directed subset pairs when requested)
+    before the next block is formed, so peak memory stays bounded by the
+    densest single block for every combination of collections.  Blocks
+    fan out over a process pool when ``n_workers > 1``; results and the
+    grafted trace fragments are concatenated in block order, so the
+    outcome is identical for every ``block_rows`` / worker count.
+
+    Emits one ``cooccurrence.block`` span per block (under whatever span
+    is currently open) and returns the number of blocks on the result;
+    callers are expected to record it as the ``cooccurrence.blocks``
+    counter on their own span.
+    """
+    n_rows = csr.shape[0]
+    if n_rows == 0:
+        return ScanResult(k, _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY, 0)
+    effective_block = block_rows or n_rows
+    bounds = [
+        (start, min(start + effective_block, n_rows))
+        for start in range(0, n_rows, effective_block)
+    ]
+    csr_t = csr.T.tocsr()
+    recorder = current_recorder()
+    workers = resolve_workers(n_workers)
+    if workers > 1 and len(bounds) > 1:
+        executor = ParallelExecutor(
+            workers,
+            initializer=_init_block_worker,
+            initargs=(
+                csr, csr_t, norms, k, recorder.measure_memory, collect_subsets
+            ),
+        )
+        pieces = []
+        for arrays, payload in executor.map(_scan_of_block, bounds):
+            recorder.graft(payload)
+            pieces.append(arrays)
+    else:
+        pieces = [
+            _scan_block(csr, csr_t, norms, k, collect_subsets, start, stop)
+            for start, stop in bounds
+        ]
+    merged = [np.concatenate(column) for column in zip(*pieces)]
+    return ScanResult(k, *merged, n_blocks=len(bounds))
+
+
+class ScanResult:
+    """The reusable output of one :func:`blocked_scan` pass.
+
+    ``rows``/``cols``/``hamming`` hold the unordered matched pairs
+    (``rows < cols``) at distance ``<= k``; ``sub_rows``/``sub_cols``
+    the directed subset pairs (empty unless collected).  Because the
+    distances are kept, :meth:`pairs_at` filters the same pass down to
+    any threshold ``<= k`` without touching the product again.
+    """
+
+    __slots__ = (
+        "k", "rows", "cols", "hamming", "sub_rows", "sub_cols", "n_blocks"
+    )
+
+    def __init__(self, k, rows, cols, hamming, sub_rows, sub_cols, n_blocks):
+        self.k = k
+        self.rows = rows
+        self.cols = cols
+        self.hamming = hamming
+        self.sub_rows = sub_rows
+        self.sub_cols = sub_cols
+        self.n_blocks = n_blocks
+
+    def pairs_at(
+        self, k: int
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+        """Matched pairs at distance ``<= k`` (requires ``k <= self.k``)."""
+        if self.k is None or k > self.k:
+            raise ValueError(
+                f"scan collected pairs at k={self.k}, cannot filter to k={k}"
+            )
+        if k == self.k:
+            return self.rows, self.cols
+        keep = self.hamming <= k
+        return self.rows[keep], self.cols[keep]
+
+    def nbytes(self) -> int:
+        arrays = (
+            self.rows, self.cols, self.hamming, self.sub_rows, self.sub_cols
+        )
+        return int(sum(a.nbytes for a in arrays))
 
 
 @register_group_finder("cooccurrence")
@@ -201,6 +359,51 @@ class CooccurrenceGroupFinder(GroupFinder):
             groups = components.groups(min_size=2)
             span.add("cooccurrence.groups", len(groups))
         return groups
+
+    def find_groups_in(
+        self, view: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Group rows of a workspace view using its shared scan.
+
+        Identical output to :meth:`find_groups` on the view's matrix,
+        but candidate pairs come from the memoised
+        :meth:`~repro.core.workspace.AxisWorkspace.matched_pairs`
+        artifact (one blocked pass per axis, shared with every other
+        consumer) instead of a private product.  On a cold workspace the
+        pass runs here, under this finder's span, with this finder's
+        ``block_rows`` / ``n_workers`` as hints.
+        """
+        k = self._check_threshold(max_differences)
+        n_rows = view.n_rows
+        if n_rows == 0:
+            return []
+        recorder = current_recorder()
+        with recorder.span("finder:cooccurrence", k=k) as span:
+            span.add("cooccurrence.rows", int(n_rows))
+            # 0/1 entries: the stored-entry count is the norm total.
+            span.add("cooccurrence.input_nnz", int(view.norms.sum()))
+            rows, cols = view.matched_pairs(
+                k,
+                block_rows=self._block_rows,
+                n_workers=self._n_workers,
+            )
+            components = DisjointSet(n_rows)
+            for i, j in zip(rows.tolist(), cols.tolist()):
+                components.union(i, j)
+            self._union_non_overlapping(components, view.norms, k)
+            groups = components.groups(min_size=2)
+            span.add("cooccurrence.groups", len(groups))
+        return groups
+
+    def warm(self, view: Any, max_differences: int = 0) -> None:
+        """Register this finder's scan need on the view (no pass yet)."""
+        if max_differences < 0 or view.n_rows == 0:
+            return
+        view.request_scan(
+            k=int(max_differences),
+            block_rows=self._block_rows,
+            n_workers=self._n_workers,
+        )
 
     def _matching_pairs(
         self,

@@ -24,12 +24,7 @@ class HashGroupFinder(GroupFinder):
     def find_groups(
         self, matrix: Any, max_differences: int = 0
     ) -> list[list[int]]:
-        k = self._check_threshold(max_differences)
-        if k != 0:
-            raise ConfigurationError(
-                "HashGroupFinder only supports max_differences=0; "
-                "use 'cooccurrence', 'dbscan', or 'hnsw' for similarity"
-            )
+        self._check_hash_threshold(max_differences)
         import scipy.sparse as sp
 
         from repro.bitmatrix import equal_row_groups_sparse
@@ -43,3 +38,27 @@ class HashGroupFinder(GroupFinder):
         else:
             bits = BitMatrix(self._dense_of(matrix))
         return bits.equal_row_groups()
+
+    def find_groups_in(
+        self, view: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Serve duplicates from the view's shared content buckets."""
+        self._check_hash_threshold(max_differences)
+        if view.n_rows == 0:
+            return []
+        # duplicate_groups already returns fresh lists (memo-safe).
+        return view.duplicate_groups
+
+    def warm(self, view: Any, max_differences: int = 0) -> None:
+        """Materialise the row-content buckets (k = 0 requests only)."""
+        if max_differences == 0 and view.n_rows:
+            view.duplicate_groups
+
+    def _check_hash_threshold(self, max_differences: int) -> int:
+        k = self._check_threshold(max_differences)
+        if k != 0:
+            raise ConfigurationError(
+                "HashGroupFinder only supports max_differences=0; "
+                "use 'cooccurrence', 'dbscan', or 'hnsw' for similarity"
+            )
+        return k

@@ -61,12 +61,38 @@ class LshGroupFinder(GroupFinder):
         n_rows = csr.shape[0]
         if n_rows == 0:
             return []
-
         signatures = minhash_signatures(
             csr, n_hashes=self._n_hashes, seed=self._seed
         )
+        return self._group_candidates(csr, signatures, row_norms(csr), k)
+
+    def find_groups_in(
+        self, view: Any, max_differences: int = 0
+    ) -> list[list[int]]:
+        """Group via the view's memoised signatures and norms.
+
+        The signature artifact is keyed by ``(n_hashes, seed)``, so two
+        LSH finders with equal parameters share one hashing pass; exact
+        verification reads the shared CSR artifact.
+        """
+        k = self._check_threshold(max_differences)
+        if view.n_rows == 0:
+            return []
+        signatures = view.signatures(self._n_hashes, self._seed)
+        return self._group_candidates(view.csr, signatures, view.norms, k)
+
+    def warm(self, view: Any, max_differences: int = 0) -> None:
+        """Materialise the signature and CSR artifacts used above."""
+        if max_differences < 0 or view.n_rows == 0:
+            return
+        view.signatures(self._n_hashes, self._seed)
+        view.csr
+
+    def _group_candidates(
+        self, csr: Any, signatures: Any, norms: Any, k: int
+    ) -> list[list[int]]:
+        n_rows = csr.shape[0]
         index = LshIndex(signatures, n_bands=self._n_bands)
-        norms = row_norms(csr)
         indptr = csr.indptr
         indices = csr.indices
 

@@ -22,6 +22,10 @@ schema, and overhead notes.
 """
 
 from repro.obs.recorder import (
+    ARTIFACT_BYTES,
+    ARTIFACT_HITS,
+    ARTIFACT_MISSES,
+    COOCCURRENCE_PASSES,
     NULL_RECORDER,
     NullRecorder,
     Recorder,
@@ -52,6 +56,10 @@ __all__ = [
     "NULL_RECORDER",
     "current_recorder",
     "use_recorder",
+    "ARTIFACT_HITS",
+    "ARTIFACT_MISSES",
+    "ARTIFACT_BYTES",
+    "COOCCURRENCE_PASSES",
     "Sink",
     "InMemorySink",
     "LoggingSink",

@@ -42,7 +42,25 @@ __all__ = [
     "NULL_RECORDER",
     "current_recorder",
     "use_recorder",
+    "ARTIFACT_HITS",
+    "ARTIFACT_MISSES",
+    "ARTIFACT_BYTES",
+    "COOCCURRENCE_PASSES",
 ]
+
+#: Counter names for the shared analysis workspace (see
+#: :mod:`repro.core.workspace`).  An *artifact* is one memoised derived
+#: structure (nonempty submatrix, co-occurrence pairs, MinHash
+#: signatures, ...); every access records exactly one hit or miss, and
+#: misses additionally record the bytes materialised, so
+#: ``Report.metrics["counters"]`` exposes the cache behaviour of a run.
+ARTIFACT_HITS = "workspace.artifact_hits"
+ARTIFACT_MISSES = "workspace.artifact_misses"
+ARTIFACT_BYTES = "workspace.artifact_bytes"
+#: Incremented once per blocked co-occurrence pass — the acceptance
+#: criterion "the co-occurrence product is computed exactly once per
+#: axis per analyze()" is asserted against this counter's total.
+COOCCURRENCE_PASSES = "workspace.cooccurrence_passes"
 
 
 class _NullSpan(Span):
@@ -80,6 +98,9 @@ class NullRecorder:
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return self._null_span
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        pass
 
     def graft(self, payload: dict[str, Any]) -> None:
         pass
@@ -170,6 +191,18 @@ class Recorder:
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """Open a span as a context manager; yields the live :class:`Span`."""
         return _SpanContext(self, Span(name=name, attributes=attributes))
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        """Increment a counter on the innermost *open* span.
+
+        Lets instrumented code that does not own a span handle (the
+        workspace's artifact accessors, called from arbitrary depths)
+        attribute counters to whatever region is currently recording.
+        Outside any open span the increment is dropped — there is no
+        trace to attach it to.
+        """
+        if self._stack:
+            self._stack[-1].add(counter, value)
 
     def _open(self, span: Span) -> float:
         now = time.perf_counter()

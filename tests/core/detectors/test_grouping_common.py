@@ -1,0 +1,72 @@
+"""Unit tests for the shared grouping helpers (``_grouping_common``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors._grouping_common import (
+    find_role_groups,
+    nonempty_submatrix,
+)
+from repro.core.grouping import CooccurrenceGroupFinder
+from repro.core.matrices import AssignmentMatrix
+from repro.core.state import RbacState
+
+
+@pytest.fixture
+def ruam_with_empty_rows() -> AssignmentMatrix:
+    """R1/R2 share both users; R3 and R4 have no users at all."""
+    state = RbacState.build(
+        users=["U1", "U2"],
+        roles=["R1", "R2", "R3", "R4"],
+        permissions=["P1"],
+        user_assignments=[
+            ("R1", "U1"),
+            ("R1", "U2"),
+            ("R2", "U1"),
+            ("R2", "U2"),
+        ],
+        permission_assignments=[("R3", "P1")],
+    )
+    return AssignmentMatrix.ruam(state)
+
+
+class TestNonemptySubmatrix:
+    def test_drops_empty_rows_and_maps_back(self, ruam_with_empty_rows):
+        submatrix, original = nonempty_submatrix(ruam_with_empty_rows)
+        assert submatrix.shape == (2, 2)
+        assert original.tolist() == [0, 1]
+
+
+class TestFindRoleGroups:
+    def test_skip_empty_rows_restricts_to_connected_roles(
+        self, ruam_with_empty_rows
+    ):
+        groups = find_role_groups(
+            ruam_with_empty_rows, CooccurrenceGroupFinder(), 0
+        )
+        assert groups == [["R1", "R2"]]
+
+    def test_skip_empty_rows_false_sees_the_full_matrix(
+        self, ruam_with_empty_rows
+    ):
+        # Without the restriction the finder also sees R3/R4, whose
+        # (identical, empty) rows form a group of their own.
+        groups = find_role_groups(
+            ruam_with_empty_rows,
+            CooccurrenceGroupFinder(),
+            0,
+            skip_empty_rows=False,
+        )
+        assert groups == [["R1", "R2"], ["R3", "R4"]]
+
+    def test_index_mapping_survives_group_order(self, ruam_with_empty_rows):
+        # The np.take remap must yield plain ints groups_to_ids accepts,
+        # and ids must come back in member order.
+        groups = find_role_groups(
+            ruam_with_empty_rows, CooccurrenceGroupFinder(), 1
+        )
+        assert all(
+            isinstance(role_id, str) for group in groups for role_id in group
+        )
+        assert groups == [["R1", "R2"]]

@@ -84,6 +84,7 @@ class TestEngine:
         report = AnalysisEngine().analyze(paper_example)
         assert set(report.timings) == {
             "matrix_build",
+            "workspace_warm",
             "standalone_nodes",
             "disconnected_roles",
             "single_assignment_roles",

@@ -47,16 +47,28 @@ class TestSerialParallelKeyParity:
         parallel = _timings(paper_example, n_workers=workers)
         assert set(parallel.timings) == set(serial.timings)
 
-    def test_one_key_per_enabled_detector_plus_matrix_build(self, paper_example):
+    def test_one_key_per_enabled_detector_plus_engine_phases(
+        self, paper_example
+    ):
         report = _timings(paper_example)
         assert set(report.timings) == {
             "matrix_build",
+            "workspace_warm",
             "standalone_nodes",
             "disconnected_roles",
             "single_assignment_roles",
             "duplicate_roles",
             "similar_roles",
         }
+
+    def test_no_warm_key_without_warmable_detectors(self, paper_example):
+        from repro.core.taxonomy import InefficiencyType
+
+        report = _timings(
+            paper_example,
+            enabled_types=(InefficiencyType.STANDALONE_NODE,),
+        )
+        assert set(report.timings) == {"matrix_build", "standalone_nodes"}
 
 
 class TestTotalBoundsComponents:

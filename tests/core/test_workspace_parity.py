@@ -1,0 +1,127 @@
+"""Parity suite for the shared workspace refactor.
+
+The workspace is a pure memoisation layer: serial runs, parallel runs,
+and detection on a completely cold workspace (no engine warm phase) must
+produce identical findings, counts, and report serialisations.  The
+counter tests pin the efficiency claim behind the refactor — the blocked
+co-occurrence product runs **at most once per axis per analyze()**.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors.base import AnalysisContext
+from repro.core.engine import AnalysisConfig, AnalysisEngine, analyze
+from repro.obs import Recorder
+
+
+def _config(**kwargs) -> AnalysisConfig:
+    """All five paper types plus the shadowed extension."""
+    return AnalysisConfig.with_extensions(**kwargs)
+
+
+def _stable(report) -> dict:
+    """The deterministic slice of a report serialisation.
+
+    Timings, total duration, and the worker breakdown legitimately vary
+    run to run; everything else must be byte-identical.
+    """
+    payload = report.to_dict()
+    payload.pop("timings_seconds")
+    payload.pop("total_seconds")
+    payload.pop("metrics")
+    payload["config"].pop("n_workers")
+    return payload
+
+
+def _cold_findings(engine: AnalysisEngine, state) -> list[dict]:
+    """Detect on a fresh context without the engine's warm phase.
+
+    This is the path a detector sees when called directly (or when a
+    worker somehow received a cold context): every workspace artifact is
+    built on demand.  Findings must match the warmed engine exactly.
+    """
+    context = AnalysisContext(state)
+    found: list = []
+    for detector in engine.detectors:
+        found.extend(detector.detect(context))
+    return [f.to_dict() for f in found]
+
+
+class TestFindingsParity:
+    @pytest.mark.parametrize("finder", ["cooccurrence", "dbscan", "lsh"])
+    def test_serial_parallel_cold_identical(self, small_org_state, finder):
+        serial = analyze(small_org_state, _config(finder=finder))
+        parallel = analyze(
+            small_org_state, _config(finder=finder, n_workers=2)
+        )
+        assert _stable(parallel) == _stable(serial)
+
+        engine = AnalysisEngine(_config(finder=finder))
+        assert _cold_findings(engine, small_org_state) == [
+            f.to_dict() for f in serial.findings
+        ]
+
+    # (The hash finder cannot drive the full engine: it rejects the
+    # similar detector's threshold >= 1 by design.)
+    @pytest.mark.parametrize("finder", ["cooccurrence", "hnsw"])
+    def test_paper_example_all_finders(self, paper_example, finder):
+        serial = analyze(paper_example, _config(finder=finder))
+        parallel = analyze(paper_example, _config(finder=finder, n_workers=2))
+        assert _stable(parallel) == _stable(serial)
+        engine = AnalysisEngine(_config(finder=finder))
+        assert _cold_findings(engine, paper_example) == [
+            f.to_dict() for f in serial.findings
+        ]
+
+    def test_blocked_scan_shape_does_not_change_output(self, small_org_state):
+        baseline = analyze(small_org_state, _config())
+        blocked = analyze(small_org_state, _config(block_rows=32))
+        stable = _stable(baseline)
+        stable["config"]["block_rows"] = 32
+        assert _stable(blocked) == stable
+
+    def test_higher_threshold_parity(self, small_org_state):
+        serial = analyze(small_org_state, _config(similarity_threshold=2))
+        parallel = analyze(
+            small_org_state, _config(similarity_threshold=2, n_workers=3)
+        )
+        assert _stable(parallel) == _stable(serial)
+
+
+class TestSharedPassCounters:
+    def _totals(self, state, **kwargs):
+        recorder = Recorder()
+        analyze(state, _config(**kwargs), recorder=recorder)
+        return recorder.counter_totals()
+
+    def test_exactly_one_pass_per_axis(self, small_org_state):
+        # Duplicates (k=0), similar (k=threshold), and shadowed (subset
+        # pairs) all consume the scan; it still runs once per axis.
+        totals = self._totals(small_org_state)
+        assert totals["workspace.cooccurrence_passes"] == 2
+
+    def test_one_pass_per_axis_at_higher_threshold(self, paper_example):
+        totals = self._totals(paper_example, similarity_threshold=3)
+        assert totals["workspace.cooccurrence_passes"] == 2
+
+    def test_serial_and_parallel_pass_counts_match(self, paper_example):
+        serial = self._totals(paper_example)
+        parallel = self._totals(paper_example, n_workers=2)
+        assert serial["workspace.cooccurrence_passes"] == 2
+        assert parallel == serial
+
+    def test_detect_time_scan_reads_are_hits(self, paper_example):
+        # After the warm flush, duplicates/similar/shadowed all read the
+        # scan without a rebuild: hits strictly exceed the pass count.
+        totals = self._totals(paper_example)
+        assert totals["workspace.artifact_hits"] > 2
+
+    def test_non_cooccurrence_finder_still_shares_shadowed_scan(
+        self, paper_example
+    ):
+        # With DBSCAN grouping only the shadowed detector needs the
+        # product — one subset-collecting pass per axis, not more.
+        totals = self._totals(paper_example, finder="dbscan")
+        assert totals["workspace.cooccurrence_passes"] == 2

@@ -29,17 +29,32 @@ class TestSerialSpanTree:
         assert root.attributes["n_workers"] == 1
         assert root.attributes["n_roles"] == paper_example.n_roles
 
-    def test_children_are_matrix_build_then_detectors(self, paper_example):
+    def test_children_are_matrix_build_warm_then_detectors(self, paper_example):
         _, root, _ = _trace(paper_example)
         names = [c.name for c in root.children]
         assert names[0] == "engine.matrix_build"
-        assert names[1:] == [
+        assert names[1] == "engine.workspace_warm"
+        assert names[2:] == [
             "detector:standalone_nodes",
             "detector:disconnected_roles",
             "detector:single_assignment_roles",
             "detector:duplicate_roles",
             "detector:similar_roles",
         ]
+
+    def test_warm_span_carries_the_blocked_scans(self, paper_example):
+        _, root, _ = _trace(paper_example)
+        warm = next(
+            c for c in root.children if c.name == "engine.workspace_warm"
+        )
+        axis_names = [c.name for c in warm.children]
+        assert axis_names == ["axis:users", "axis:permissions"]
+        for axis_span in warm.children:
+            # One shared pass per axis, one block by default.
+            assert axis_span.counters["workspace.cooccurrence_passes"] == 1
+            assert [c.name for c in axis_span.children] == [
+                "cooccurrence.block"
+            ]
 
     def test_matrix_counters_match_state(self, paper_example):
         _, root, _ = _trace(paper_example)
@@ -53,9 +68,15 @@ class TestSerialSpanTree:
         dup = "engine.analyze/detector:duplicate_roles"
         assert f"{dup}/axis:users" in paths
         assert f"{dup}/axis:users/finder:cooccurrence" in paths
+        # The product itself runs once per axis, in the warm phase.
+        warm = "engine.analyze/engine.workspace_warm"
+        assert f"{warm}/axis:users/cooccurrence.block" in paths
         totals = recorder.counter_totals()
         assert totals["cooccurrence.blocks"] >= 1
         assert totals["cooccurrence.candidate_pairs"] >= 1
+        assert totals["workspace.cooccurrence_passes"] == 2
+        assert totals["workspace.artifact_hits"] >= 1
+        assert totals["workspace.artifact_misses"] >= 1
 
     def test_finding_counters_match_report(self, paper_example):
         report, root, recorder = _trace(paper_example)

@@ -1,0 +1,142 @@
+"""Continuous analysis via the in-process service.
+
+Boots an :class:`~repro.service.ServiceServer` on an ephemeral loopback
+port, streams mutation batches at it over real HTTP (an IAM pipeline
+would do the same from another process), polls the live inefficiency
+counts after every batch, asks for a full cached report, and finally
+fetches the background scheduler's latest report diff — the payload a
+reviewer dashboard would poll.
+
+Run with::
+
+    python examples/continuous_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+from repro import RbacState
+from repro.core.engine import AnalysisConfig
+from repro.service import AnalysisService, ServiceConfig, ServiceServer
+
+
+def call(url: str, method: str = "GET", payload: dict | None = None) -> dict:
+    body = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=body, method=method)
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def seed_state() -> RbacState:
+    """A small org: two duplicate-ish engineering roles and one orphan."""
+    return RbacState.build(
+        users=[f"eng{i}" for i in range(6)] + ["auditor"],
+        roles=["eng-read", "eng-write", "legacy-eng", "dormant"],
+        permissions=["repo.read", "repo.write", "ci.run", "vault.admin"],
+        user_assignments=[
+            ("eng-read", "eng0"), ("eng-read", "eng1"), ("eng-read", "eng2"),
+            ("eng-write", "eng0"), ("eng-write", "eng1"), ("eng-write", "eng2"),
+            ("legacy-eng", "eng3"),
+        ],
+        permission_assignments=[
+            ("eng-read", "repo.read"), ("eng-write", "repo.read"),
+            ("eng-write", "repo.write"), ("eng-write", "ci.run"),
+            ("legacy-eng", "repo.read"), ("dormant", "vault.admin"),
+        ],
+    )
+
+
+#: Three days of IAM churn, batched the way a sync pipeline would send it.
+MUTATION_BATCHES = [
+    # Day 1: two hires land in engineering.
+    [
+        {"op": "add_user", "id": "eng6"},
+        {"op": "add_user", "id": "eng7"},
+        {"op": "assign_user", "role": "eng-read", "user": "eng6"},
+        {"op": "assign_user", "role": "eng-read", "user": "eng7"},
+    ],
+    # Day 2: someone clones eng-write instead of reusing it.
+    [
+        {"op": "add_role", "id": "eng-write-copy"},
+        {"op": "assign_user", "role": "eng-write-copy", "user": "eng0"},
+        {"op": "assign_user", "role": "eng-write-copy", "user": "eng1"},
+        {"op": "assign_user", "role": "eng-write-copy", "user": "eng2"},
+        {"op": "assign_permission", "role": "eng-write-copy", "permission": "repo.read"},
+        {"op": "assign_permission", "role": "eng-write-copy", "permission": "repo.write"},
+        {"op": "assign_permission", "role": "eng-write-copy", "permission": "ci.run"},
+    ],
+    # Day 3: offboarding empties legacy-eng.
+    [
+        {"op": "revoke_user", "role": "legacy-eng", "user": "eng3"},
+        {"op": "remove_user", "id": "eng3"},
+    ],
+]
+
+
+def main() -> None:
+    service = AnalysisService(
+        seed_state(),
+        ServiceConfig(
+            # Refresh the full report after every couple of mutations so
+            # this demo publishes diffs promptly; production deployments
+            # use a larger trigger (the CLI default is 256).
+            refresh_mutations=2,
+            analysis=AnalysisConfig(similarity_threshold=1),
+        ),
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    base = server.url
+    print(f"service listening on {base}\n")
+
+    health = call(f"{base}/healthz")
+    print(f"dataset: {health['dataset']}")
+
+    for day, batch in enumerate(MUTATION_BATCHES, start=1):
+        applied = call(
+            f"{base}/v1/mutations", "POST", {"mutations": batch}
+        )
+        counts = call(f"{base}/v1/counts")["counts"]
+        interesting = {k: v for k, v in counts.items() if v}
+        print(f"day {day}: applied {applied['applied']} mutations "
+              f"(seq {applied['mutation_seq']}) -> live counts {interesting}")
+
+    # A full report: the first request computes, the repeat is served
+    # from the fingerprint-keyed cache.
+    first = call(f"{base}/v1/analyze", "POST", {})
+    again = call(f"{base}/v1/analyze", "POST", {})
+    print(f"\nfull report: {len(first['report']['findings'])} findings "
+          f"(cache: {first['cache']} then {again['cache']})")
+
+    # The background scheduler republishes after every refresh_mutations
+    # mutations; wait for it to catch up with the stream, then show the
+    # reviewer-facing diff.
+    deadline = time.monotonic() + 30
+    latest = call(f"{base}/v1/reports/latest")
+    while (
+        latest["mutation_seq"] < applied["mutation_seq"]
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.1)
+        latest = call(f"{base}/v1/reports/latest")
+    print(f"\nscheduler report seq {latest['seq']} "
+          f"(state seq {latest['mutation_seq']}):")
+    diff = latest["diff"]
+    if diff is not None:
+        print(f"  new:        {len(diff['new'])} findings")
+        print(f"  resolved:   {len(diff['resolved'])} findings")
+        print(f"  persisting: {diff['persisting']} findings")
+
+    metrics = call(f"{base}/metricz")
+    print(f"\nservice counters: "
+          f"{json.dumps(metrics['counters'], indent=2, sort_keys=True)}")
+
+    server.stop()
+    print("\ndrained cleanly")
+
+
+if __name__ == "__main__":
+    main()

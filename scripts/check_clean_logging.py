@@ -21,6 +21,12 @@ import ast
 import sys
 from pathlib import Path
 
+#: Packages the lint must actually see modules from — a guard against
+#: the walk silently missing a layer (e.g. after a package rename).
+#: ``service`` matters most: a daemon that prints to stdout corrupts
+#: nothing visibly but interleaves garbage into supervisor logs.
+REQUIRED_PACKAGES = ("core", "obs", "parallel", "service")
+
 
 def violations_in(path: Path) -> list[tuple[int, str]]:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
@@ -48,15 +54,30 @@ def main(argv: list[str]) -> int:
         return 2
     status = 0
     checked = 0
+    covered_packages: set[str] = set()
     for path in sorted(root.rglob("*.py")):
-        if "cli" in path.relative_to(root).parts:
+        parts = path.relative_to(root).parts
+        if "cli" in parts:
             continue  # the CLI layer is allowed to print and configure logging
         checked += 1
+        if len(parts) > 1:
+            covered_packages.add(parts[0])
         for lineno, message in violations_in(path):
             print(f"{path}:{lineno}: {message}", file=sys.stderr)
             status = 1
+    missing = [p for p in REQUIRED_PACKAGES if p not in covered_packages]
+    if missing:
+        print(
+            f"error: lint walked no modules under {root} for required "
+            f"package(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        status = 1
     if status == 0:
-        print(f"clean: no print()/logging.basicConfig in {checked} modules")
+        print(
+            f"clean: no print()/logging.basicConfig in {checked} modules "
+            f"({len(covered_packages)} packages)"
+        )
     return status
 
 

@@ -27,6 +27,10 @@ Subcommands
 ``bench``
     Run a paper experiment (``fig2``, ``fig3``, ``real``) or the
     ``density`` ablation and print the series/table.
+``serve``
+    Run the long-running analysis service: an HTTP/JSON daemon with
+    mutation ingestion, report caching, backpressure, and graceful
+    drain (see docs/ARCHITECTURE.md).
 
 Run ``repro <subcommand> --help`` for the full flag list.
 """
@@ -34,6 +38,7 @@ Run ``repro <subcommand> --help`` for the full flag list.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -52,6 +57,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Conventional 128+SIGINT so long analyze/bench/serve runs die
+        # quietly on Ctrl-C instead of dumping a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Reader went away (e.g. `repro analyze ... | head`).  Point
+        # stdout at /dev/null so the interpreter's shutdown flush does
+        # not raise a second time, and exit as a successful pipeline
+        # participant.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -294,6 +314,124 @@ def _build_parser() -> argparse.ArgumentParser:
         help="real: planted-org scale divisor (1 = paper scale)",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the analysis service (HTTP/JSON daemon over live state)",
+    )
+    serve_parser.add_argument(
+        "dataset",
+        nargs="?",
+        help="initial dataset (JSON file or CSV directory); ignored when "
+        "--snapshot points at an existing snapshot (warm restart), "
+        "omitted = start empty",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8035,
+        help="bind port (0 = pick an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--snapshot",
+        metavar="FILE.json",
+        default=None,
+        help="snapshot file: loaded on start when present (warm restart), "
+        "written on graceful drain",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max concurrent /v1/* requests; the next one gets 429 + "
+        "Retry-After",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (clients override with the "
+        "X-Deadline header)",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="reports kept in the fingerprint-keyed LRU cache",
+    )
+    serve_parser.add_argument(
+        "--refresh-mutations",
+        type=int,
+        default=256,
+        metavar="N",
+        help="background full re-analysis after N mutations "
+        "(0 disables this trigger)",
+    )
+    serve_parser.add_argument(
+        "--refresh-seconds",
+        type=float,
+        default=None,
+        metavar="T",
+        help="background full re-analysis after T seconds with pending "
+        "mutations (default: disabled)",
+    )
+    serve_parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the startup analysis (faster start, cold caches, no "
+        "scheduler baseline)",
+    )
+    serve_parser.add_argument(
+        "--finder",
+        default="cooccurrence",
+        choices=("cooccurrence", "dbscan", "hnsw", "hash", "lsh"),
+        help="default group finder for /v1/analyze and the scheduler",
+    )
+    serve_parser.add_argument(
+        "--similarity-threshold",
+        type=int,
+        default=1,
+        help="similarity threshold shared by /v1/counts and /v1/analyze",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per analysis (1 = serial, 0 = all cores)",
+    )
+    serve_parser.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row-block size for the co-occurrence product",
+    )
+    serve_parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="include extension detectors (shadowed roles) by default",
+    )
+    serve_parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="log per-request span records via stdlib logging",
+    )
+    serve_parser.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="stream per-request traces as JSON Lines "
+        "(schema: docs/OBSERVABILITY.md)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -578,6 +716,89 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(render_series_csv(result), end="")
     else:
         print(render_series_table(result))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import AnalysisService, ServiceConfig, ServiceServer
+
+    options = dict(
+        finder=args.finder,
+        similarity_threshold=args.similarity_threshold,
+        n_workers=None if args.workers == 0 else args.workers,
+        block_rows=args.block_rows,
+    )
+    if args.extensions:
+        analysis = AnalysisConfig.with_extensions(**options)
+    else:
+        analysis = AnalysisConfig(**options)
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        deadline_seconds=args.deadline,
+        cache_capacity=args.cache_capacity,
+        refresh_mutations=args.refresh_mutations or None,
+        refresh_seconds=args.refresh_seconds,
+        snapshot_path=args.snapshot,
+        warm_start=not args.no_warm,
+        analysis=analysis,
+    )
+
+    sinks = []
+    trace_sink = None
+    if args.log_level:
+        import logging
+
+        from repro.obs import LoggingSink
+
+        level = getattr(logging, args.log_level.upper())
+        logging.basicConfig(
+            level=level, format="%(asctime)s %(name)s %(message)s"
+        )
+        sinks.append(LoggingSink(level=level))
+    if args.trace_out:
+        from repro.obs import JsonlTraceSink
+
+        trace_sink = JsonlTraceSink(args.trace_out)
+        sinks.append(trace_sink)
+
+    state = None
+    if args.dataset:
+        state = _load_dataset(args.dataset)
+    service = AnalysisService(state=state, config=config, sinks=sinks)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    if service.restored_from_snapshot:
+        print(
+            f"restored state from snapshot {args.snapshot} "
+            f"(mutation_seq={service.mutation_seq})"
+        )
+    live = service.state
+    print(
+        f"serving {live.n_users} users / {live.n_roles} roles / "
+        f"{live.n_permissions} permissions on http://{host}:{port} "
+        f"(queue_limit={args.queue_limit}, deadline={args.deadline:g}s)"
+    )
+    sys.stdout.flush()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 (signal signature)
+        server.request_shutdown()
+
+    previous_term = signal.signal(signal.SIGTERM, _request_stop)
+    previous_int = signal.signal(signal.SIGINT, _request_stop)
+    try:
+        server.serve_forever()
+        server.drain()
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        if trace_sink is not None:
+            trace_sink.close()
+    if args.snapshot:
+        print(f"drained; snapshot written to {args.snapshot}")
+    else:
+        print("drained")
     return 0
 
 

@@ -12,6 +12,8 @@ consistent, so downstream code never has to re-validate.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Iterable, Iterator
 
 from repro.core.entities import Entity, EntityKind, Permission, Role, User
@@ -280,6 +282,62 @@ class RbacState:
             k: set(v) for k, v in self._permission_roles.items()
         }
         return clone
+
+    def fingerprint(self) -> str:
+        """Order-insensitive content digest of entities + assignments.
+
+        Two states have the same fingerprint exactly when they contain
+        the same users, roles, and permissions (ids, names, attributes)
+        and the same assignment edges — regardless of the order anything
+        was inserted.  Any content mutation (add/remove an entity,
+        assign/revoke an edge, rename) changes the digest.
+
+        This is the report-cache key of the analysis service
+        (:mod:`repro.service`): a cached report is valid for exactly as
+        long as the fingerprint it was computed under.
+
+        Each item is hashed independently (SHA-256 over a tagged,
+        delimiter-separated encoding) and the per-item digests are
+        combined with addition modulo 2**256, so the result is
+        independent of iteration order and computed in one O(items)
+        pass with no sorting.
+        """
+        mask = (1 << 256) - 1
+        total = 0
+
+        def mix(tag: str, *parts: str) -> int:
+            h = hashlib.sha256()
+            h.update(tag.encode("utf-8"))
+            for part in parts:
+                h.update(b"\x1f")
+                h.update(part.encode("utf-8"))
+            return int.from_bytes(h.digest(), "big")
+
+        for collection, tag in (
+            (self._users, "user"),
+            (self._roles, "role"),
+            (self._permissions, "permission"),
+        ):
+            for entity in collection.values():
+                attributes = (
+                    json.dumps(
+                        dict(entity.attributes), sort_keys=True, default=str
+                    )
+                    if entity.attributes
+                    else ""
+                )
+                total = (
+                    total + mix(tag, entity.id, entity.name, attributes)
+                ) & mask
+        for role_id, members in self._role_users.items():
+            for user_id in members:
+                total = (total + mix("edge:ru", role_id, user_id)) & mask
+        for role_id, grants in self._role_permissions.items():
+            for permission_id in grants:
+                total = (
+                    total + mix("edge:rp", role_id, permission_id)
+                ) & mask
+        return f"{total:064x}"
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RbacState):

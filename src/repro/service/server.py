@@ -1,0 +1,708 @@
+"""The analysis daemon: HTTP/JSON serving over a live RBAC state.
+
+:class:`AnalysisService` is the application object — it owns the live
+:class:`~repro.core.incremental.IncrementalAuditor` (so ``GET
+/v1/counts`` is served from maintained indexes, never a re-analysis),
+the fingerprint-keyed :class:`~repro.service.cache.ReportCache`, the
+background :class:`~repro.service.scheduler.RefreshScheduler`, and the
+service metrics.  Its :meth:`~AnalysisService.handle` method maps one
+``(method, path, body)`` triple to ``(status, payload, headers)`` with
+no socket involved, which is what the unit tests drive.
+
+:class:`ServiceServer` binds a service to a stdlib
+``ThreadingHTTPServer`` (zero third-party dependencies).  Production
+behaviours live at this seam:
+
+* **Backpressure** — at most ``queue_limit`` ``/v1/*`` requests are in
+  flight; the next one is rejected immediately with ``429`` and a
+  ``Retry-After`` header instead of queueing unboundedly.
+* **Deadlines** — every request carries a deadline (``X-Deadline``
+  header, seconds; default ``deadline_seconds``).  An analysis that
+  cannot finish in time returns ``504`` while the shared computation
+  completes into the cache (see :mod:`repro.service.cache`).
+* **Graceful drain** — on SIGTERM the server stops accepting work
+  (``503`` + ``Connection: close``), lets in-flight requests finish,
+  flushes the state to the snapshot store, and exits; a warm restart
+  reloads the snapshot with the mutation sequence intact.
+
+Endpoints::
+
+    POST /v1/mutations       apply a batched mutation delta (atomic)
+    GET  /v1/counts          live inefficiency counts (incremental)
+    POST /v1/analyze         full report (cached + coalesced)
+    GET  /v1/reports/latest  scheduler's latest report + diff
+    GET  /healthz            liveness (503 while draining)
+    GET  /metricz            counters, latencies, cache/queue stats
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.core.engine import AnalysisConfig, analyze
+from repro.core.incremental import IncrementalAuditor
+from repro.core.report import Report
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs import Recorder, use_recorder
+from repro.service.cache import ReportCache
+from repro.service.protocol import (
+    DeadlineExceeded,
+    ProtocolError,
+    ServiceDraining,
+    ServiceSaturated,
+    apply_batch,
+    build_analysis_config,
+    config_key,
+    parse_mutation_batch,
+    validate_batch,
+)
+from repro.service.scheduler import RefreshScheduler
+from repro.service.store import SnapshotMeta, SnapshotStore
+
+__all__ = ["ServiceConfig", "AnalysisService", "ServiceServer"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one :class:`AnalysisService`.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum concurrently-processed ``/v1/*`` requests; the next
+        request is rejected with 429 (backpressure, not buffering).
+    deadline_seconds:
+        Default per-request deadline; clients override per request with
+        the ``X-Deadline`` header.
+    cache_capacity:
+        Reports kept in the LRU report cache.
+    refresh_mutations / refresh_seconds:
+        Background full-analysis triggers (``None`` disables a trigger;
+        both ``None`` disables the scheduler).
+    snapshot_path:
+        Where graceful drain persists the state; an existing snapshot
+        here is loaded on construction (warm restart) in preference to
+        the ``state`` argument.
+    warm_start:
+        Run one full analysis at startup — warms the matrices, the
+        per-axis workspace artifacts, and the report cache, and gives
+        the scheduler its diff baseline.
+    retry_after_seconds:
+        Value of the ``Retry-After`` header on 429 responses.
+    analysis:
+        Default :class:`AnalysisConfig` for ``POST /v1/analyze`` and the
+        scheduler; its ``similarity_threshold`` also parameterises the
+        incremental auditor, keeping ``/v1/counts`` and ``/v1/analyze``
+        in exact agreement.
+    """
+
+    queue_limit: int = 8
+    deadline_seconds: float = 30.0
+    cache_capacity: int = 32
+    refresh_mutations: int | None = 256
+    refresh_seconds: float | None = None
+    snapshot_path: str | Path | None = None
+    warm_start: bool = True
+    retry_after_seconds: int = 1
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1 (got {self.queue_limit})"
+            )
+        if self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0 (got {self.deadline_seconds})"
+            )
+        if self.retry_after_seconds < 0:
+            raise ConfigurationError(
+                "retry_after_seconds must be >= 0 "
+                f"(got {self.retry_after_seconds})"
+            )
+
+
+class AnalysisService:
+    """The transport-independent application behind the HTTP server."""
+
+    def __init__(
+        self,
+        state: RbacState | None = None,
+        config: ServiceConfig | None = None,
+        sinks: Any = (),
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._sinks = list(sinks)
+        self._store = (
+            SnapshotStore(self.config.snapshot_path)
+            if self.config.snapshot_path
+            else None
+        )
+        self.restored_from_snapshot = False
+        meta: SnapshotMeta | None = None
+        if self._store is not None and self._store.exists():
+            state, meta = self._store.load()
+            self.restored_from_snapshot = True
+        self._auditor = IncrementalAuditor(
+            state,
+            similarity_threshold=self.config.analysis.similarity_threshold,
+        )
+        self._state_lock = threading.RLock()
+        self._mutation_seq = meta.mutation_seq if meta is not None else 0
+        self._cache = ReportCache(self.config.cache_capacity)
+        self._queue = threading.Semaphore(self.config.queue_limit)
+        self._draining = threading.Event()
+        self._obs_lock = threading.Lock()
+        self._counters: dict[str, int | float] = {}
+        self._endpoints: dict[str, dict[str, Any]] = {}
+        self._in_flight = 0
+        self._rejected = 0
+        self._started_monotonic = time.monotonic()
+        self._scheduler = RefreshScheduler(
+            self._refresh_runner,
+            refresh_mutations=self.config.refresh_mutations,
+            refresh_seconds=self.config.refresh_seconds,
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Warm-start (optional) and launch the refresh scheduler."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.warm_start:
+            report, fingerprint, seq = self._refresh_runner()
+            self._scheduler.prime(report, fingerprint, seq)
+        self._scheduler.start()
+
+    @property
+    def is_draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting ``/v1/*`` work; in-flight requests finish."""
+        self._draining.set()
+
+    def close(self, drain_reason: str = "shutdown") -> None:
+        """Stop the scheduler and flush the state to the snapshot store.
+
+        Call after the HTTP layer has fully drained (no request can be
+        mutating the state anymore).
+        """
+        self._scheduler.stop()
+        if self._store is not None:
+            with self._state_lock:
+                state = self._auditor.state.copy()
+                seq = self._mutation_seq
+            self._store.save(
+                state,
+                SnapshotMeta(
+                    mutation_seq=seq,
+                    fingerprint=state.fingerprint(),
+                    saved_at=time.time(),
+                    extra={"reason": drain_reason},
+                ),
+            )
+            self._bump("service.snapshots_written", 1)
+
+    @property
+    def scheduler(self) -> RefreshScheduler:
+        return self._scheduler
+
+    @property
+    def cache(self) -> ReportCache:
+        return self._cache
+
+    @property
+    def mutation_seq(self) -> int:
+        with self._state_lock:
+            return self._mutation_seq
+
+    @property
+    def state(self) -> RbacState:
+        """The live state.  Read-only by convention: mutate it only
+        through ``POST /v1/mutations`` (or the auditor), never directly
+        — direct mutation desynchronises counts, cache, and snapshot."""
+        return self._auditor.state
+
+    # ------------------------------------------------------------------
+    # Request handling (transport-independent)
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        deadline_header: str | None = None,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Serve one request; returns ``(status, payload, headers)``.
+
+        Every request is traced under a ``service.request`` span (shipped
+        to the service's sinks) and aggregated into the per-endpoint
+        latency stats that ``GET /metricz`` reports.
+        """
+        started = time.monotonic()
+        route = urlsplit(path).path
+        endpoint = f"{method} {route}"
+        recorder = Recorder()
+        headers: dict[str, str] = {}
+        try:
+            with use_recorder(recorder):
+                with recorder.span(
+                    "service.request", method=method, route=route
+                ) as span:
+                    try:
+                        deadline_at = started + self._deadline_seconds(
+                            deadline_header
+                        )
+                        status, payload, headers = self._route(
+                            method, route, body, deadline_at
+                        )
+                    except ProtocolError as error:
+                        status, payload = 400, {"error": str(error)}
+                    except ServiceSaturated as error:
+                        status, payload = 429, {"error": str(error)}
+                        headers["Retry-After"] = str(
+                            self.config.retry_after_seconds
+                        )
+                    except ServiceDraining as error:
+                        status, payload = 503, {"error": str(error)}
+                        headers["Connection"] = "close"
+                    except DeadlineExceeded as error:
+                        status, payload = 504, {"error": str(error)}
+                    except ReproError as error:
+                        status, payload = 400, {"error": str(error)}
+                    span.annotate(status=status)
+        except Exception as error:  # never let the transport see a traceback
+            status, payload = 500, {
+                "error": f"internal error: {type(error).__name__}: {error}"
+            }
+            headers = {}
+        self._observe(
+            endpoint, status, time.monotonic() - started, recorder
+        )
+        return status, payload, headers
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(
+        self, method: str, route: str, body: bytes, deadline_at: float
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if route == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._handle_healthz()
+        if route == "/metricz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._handle_metricz()
+        if route.startswith("/v1/"):
+            return self._route_v1(method, route, body, deadline_at)
+        return 404, {"error": f"no such endpoint: {route}"}, {}
+
+    def _route_v1(
+        self, method: str, route: str, body: bytes, deadline_at: float
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._draining.is_set():
+            raise ServiceDraining("service is draining; retry elsewhere")
+        if not self._queue.acquire(blocking=False):
+            with self._obs_lock:
+                self._rejected += 1
+            raise ServiceSaturated(
+                f"request queue is full ({self.config.queue_limit} in "
+                "flight); retry later"
+            )
+        with self._obs_lock:
+            self._in_flight += 1
+        try:
+            if route == "/v1/mutations":
+                if method != "POST":
+                    return self._method_not_allowed("POST")
+                return self._handle_mutations(body, deadline_at)
+            if route == "/v1/counts":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._handle_counts()
+            if route == "/v1/analyze":
+                if method != "POST":
+                    return self._method_not_allowed("POST")
+                return self._handle_analyze(body, deadline_at)
+            if route == "/v1/reports/latest":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._handle_latest_report()
+            return 404, {"error": f"no such endpoint: {route}"}, {}
+        finally:
+            with self._obs_lock:
+                self._in_flight -= 1
+            self._queue.release()
+
+    @staticmethod
+    def _method_not_allowed(
+        allowed: str,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        return (
+            405,
+            {"error": f"method not allowed (use {allowed})"},
+            {"Allow": allowed},
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._draining.is_set():
+            return 503, {"status": "draining"}, {"Connection": "close"}
+        with self._state_lock:
+            state = self._auditor.state
+            dataset = {
+                "users": state.n_users,
+                "roles": state.n_roles,
+                "permissions": state.n_permissions,
+            }
+            seq = self._mutation_seq
+        return (
+            200,
+            {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "mutation_seq": seq,
+                "dataset": dataset,
+                "restored_from_snapshot": self.restored_from_snapshot,
+            },
+            {},
+        )
+
+    def _handle_metricz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        with self._obs_lock:
+            counters = dict(sorted(self._counters.items()))
+            endpoints = {
+                name: dict(stats) for name, stats in self._endpoints.items()
+            }
+            in_flight = self._in_flight
+            rejected = self._rejected
+        return (
+            200,
+            {
+                "schema": 1,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "counters": counters,
+                "endpoints": endpoints,
+                "cache": self._cache.stats(),
+                "queue": {
+                    "limit": self.config.queue_limit,
+                    "in_flight": in_flight,
+                    "rejected": rejected,
+                },
+                "scheduler": self._scheduler.stats(),
+            },
+            {},
+        )
+
+    def _handle_mutations(
+        self, body: bytes, deadline_at: float
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        mutations = parse_mutation_batch(self._parse_json(body))
+        if time.monotonic() >= deadline_at:
+            raise DeadlineExceeded("deadline elapsed before the batch ran")
+        with self._state_lock:
+            # Validation against the live state makes application atomic:
+            # a batch that fails any check mutates nothing.
+            validate_batch(self._auditor.state, mutations)
+            applied = apply_batch(self._auditor, mutations)
+            self._mutation_seq += applied
+            seq = self._mutation_seq
+        self._scheduler.notify_mutations(applied)
+        self._bump("service.mutations_applied", applied)
+        return 200, {"applied": applied, "mutation_seq": seq}, {}
+
+    def _handle_counts(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        with self._state_lock:
+            counts = self._auditor.counts()
+            seq = self._mutation_seq
+        return 200, {"counts": counts, "mutation_seq": seq}, {}
+
+    def _handle_analyze(
+        self, body: bytes, deadline_at: float
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        overrides = self._parse_json(body) if body.strip() else None
+        effective = build_analysis_config(self.config.analysis, overrides)
+        fingerprint, snapshot, seq = self._freeze_state()
+        key = (fingerprint, config_key(effective))
+        remaining = deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded("deadline elapsed before analysis began")
+        (report, payload), source = self._cache.get_or_compute(
+            key,
+            lambda: self._compute(snapshot, effective),
+            timeout=remaining,
+        )
+        del report  # the cached dict is the response body
+        self._bump(f"service.analyze_{source}", 1)
+        return (
+            200,
+            {
+                "cache": source,
+                "fingerprint": fingerprint,
+                "mutation_seq": seq,
+                "report": payload,
+            },
+            {},
+        )
+
+    def _handle_latest_report(
+        self,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        latest = self._scheduler.latest()
+        if latest is None:
+            return 404, {"error": "no report published yet"}, {}
+        return 200, latest, {}
+
+    # ------------------------------------------------------------------
+    # Analysis plumbing
+    # ------------------------------------------------------------------
+    def _freeze_state(self) -> tuple[str, RbacState, int]:
+        """Fingerprint + copy the live state atomically.
+
+        The copy happens under the state lock so the fingerprint is
+        guaranteed to describe exactly the copied content — mutations
+        arriving after the lock is released cannot desynchronise the
+        cache key from the analysed snapshot.
+        """
+        with self._state_lock:
+            state = self._auditor.state
+            return state.fingerprint(), state.copy(), self._mutation_seq
+
+    def _compute(
+        self, snapshot: RbacState, config: AnalysisConfig
+    ) -> tuple[Report, dict[str, Any]]:
+        """One full analysis; runs on a cache compute thread."""
+        report = analyze(snapshot, config)
+        self._merge_counters(report.metrics.get("counters", {}))
+        self._bump("service.analyses", 1)
+        return report, report.to_dict()
+
+    def _refresh_runner(self) -> tuple[Report, str, int]:
+        """Scheduler hook: analyse the current state with the defaults."""
+        fingerprint, snapshot, seq = self._freeze_state()
+        key = (fingerprint, config_key(self.config.analysis))
+        (report, _payload), source = self._cache.get_or_compute(
+            key, lambda: self._compute(snapshot, self.config.analysis)
+        )
+        self._bump(f"service.analyze_{source}", 1)
+        return report, fingerprint, seq
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_json(body: bytes) -> Any:
+        if not body.strip():
+            raise ProtocolError("expected a JSON request body")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"invalid JSON body: {error}") from error
+
+    def _deadline_seconds(self, header: str | None) -> float:
+        if header is None:
+            return self.config.deadline_seconds
+        try:
+            deadline = float(header)
+        except ValueError:
+            raise ProtocolError(
+                f"X-Deadline must be a number of seconds (got {header!r})"
+            ) from None
+        if deadline <= 0:
+            raise ProtocolError(
+                f"X-Deadline must be > 0 seconds (got {deadline})"
+            )
+        return deadline
+
+    def _bump(self, counter: str, value: int | float) -> None:
+        with self._obs_lock:
+            self._counters[counter] = self._counters.get(counter, 0) + value
+
+    def _merge_counters(self, counters: dict[str, int | float]) -> None:
+        with self._obs_lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    def _observe(
+        self, endpoint: str, status: int, seconds: float, recorder: Recorder
+    ) -> None:
+        """Fold one request into the service metrics and emit its trace."""
+        with self._obs_lock:
+            stats = self._endpoints.setdefault(
+                endpoint,
+                {
+                    "count": 0,
+                    "errors": 0,
+                    "total_seconds": 0.0,
+                    "max_seconds": 0.0,
+                },
+            )
+            stats["count"] += 1
+            if status >= 400:
+                stats["errors"] += 1
+            stats["total_seconds"] += seconds
+            stats["max_seconds"] = max(stats["max_seconds"], seconds)
+            self._counters["service.requests"] = (
+                self._counters.get("service.requests", 0) + 1
+            )
+            key = f"service.http_{status}"
+            self._counters[key] = self._counters.get(key, 0) + 1
+            # Sinks are shared across handler threads; emit under the
+            # same lock that guards the aggregates.
+            for root in recorder.traces:
+                for sink in self._sinks:
+                    sink.emit(root)
+
+
+class _ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Thin translation layer: HTTP <-> ``AnalysisService.handle``."""
+
+    service: AnalysisService  # bound by ServiceServer via subclassing
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+    #: Socket timeout so an idle keep-alive connection cannot stall a
+    #: graceful drain indefinitely.
+    timeout = 30
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # Request accounting lives in /metricz and the trace sinks; the
+        # default stderr line would violate the clean-logging contract.
+        pass
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        status, payload, headers = self.service.handle(
+            method,
+            self.path,
+            body,
+            deadline_header=self.headers.get("X-Deadline"),
+        )
+        data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        if self.service.is_draining:
+            headers.setdefault("Connection", "close")
+            self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+
+class ServiceServer:
+    """Binds an :class:`AnalysisService` to a ``ThreadingHTTPServer``.
+
+    Two serving modes share one drain path:
+
+    * ``serve_forever()`` — blocking, for the CLI; ``request_shutdown()``
+      (typically from a signal handler) makes it return, after which the
+      caller runs ``drain()``.
+    * ``start()`` / ``stop()`` — background thread, for tests and
+      in-process embedding (see ``examples/continuous_service.py``).
+    """
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        handler = type(
+            "BoundServiceHandler", (_ServiceHTTPHandler,), {"service": service}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        # Graceful drain depends on server_close() joining the in-flight
+        # handler threads (ThreadingHTTPServer defaults to daemonic
+        # threads, which would be abandoned instead).
+        self._httpd.daemon_threads = False
+        self._thread: threading.Thread | None = None
+        self._shutdown_requested = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Start the service and serve until ``request_shutdown()``."""
+        self.service.start()
+        self._httpd.serve_forever()
+
+    def start(self) -> None:
+        """Serve on a background thread (returns once listening)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; safe to call from a signal handler.
+
+        The accept loop is stopped from a helper thread because
+        ``shutdown()`` blocks until the loop exits — calling it inline
+        from a signal handler that interrupted ``serve_forever`` would
+        deadlock.
+        """
+        if self._shutdown_requested:
+            return
+        self._shutdown_requested = True
+        self.service.begin_drain()
+        threading.Thread(
+            target=self._httpd.shutdown,
+            name="repro-service-shutdown",
+            daemon=True,
+        ).start()
+
+    def drain(self, reason: str = "shutdown") -> None:
+        """Finish in-flight requests, close sockets, snapshot the state."""
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close(drain_reason=reason)
+
+    def stop(self, reason: str = "shutdown") -> None:
+        """Convenience: ``request_shutdown()`` + ``drain()``."""
+        self.request_shutdown()
+        self.drain(reason=reason)

@@ -1,0 +1,64 @@
+"""Top-level exit-code conventions of the CLI entry point.
+
+A long ``analyze``/``bench``/``serve`` run killed with Ctrl-C must exit
+with the conventional 128+SIGINT code and no traceback; a reader that
+goes away mid-pipe (``repro analyze ... | head``) must look like a
+successful pipeline participant, not an error.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+# ``import repro.cli.main as x`` would bind the re-exported ``main``
+# *function* (the package attribute shadows the submodule); resolve the
+# module itself so handlers can be monkeypatched on it.
+cli_main = importlib.import_module("repro.cli.main")
+main = cli_main.main
+
+
+def raising_handler(error: BaseException):
+    def handler(args):
+        raise error
+
+    return handler
+
+
+@pytest.fixture
+def patched_stats_handler(monkeypatch):
+    """Route ``repro stats`` to a stub handler raising on demand."""
+
+    def install(error: BaseException):
+        monkeypatch.setattr(cli_main, "_cmd_stats", raising_handler(error))
+
+    return install
+
+
+class TestExitCodes:
+    def test_keyboard_interrupt_exits_130(self, patched_stats_handler, capsys):
+        patched_stats_handler(KeyboardInterrupt())
+        assert main(["stats", "ignored.json"]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_broken_pipe_exits_0(self, patched_stats_handler, capsys):
+        patched_stats_handler(BrokenPipeError())
+        assert main(["stats", "ignored.json"]) == 0
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_repro_error_exits_1(self, patched_stats_handler, capsys):
+        from repro.exceptions import ReproError
+
+        patched_stats_handler(ReproError("bad input"))
+        assert main(["stats", "ignored.json"]) == 1
+        assert "error: bad input" in capsys.readouterr().err
+
+    def test_os_error_exits_1_not_0(self, patched_stats_handler, capsys):
+        # BrokenPipeError is an OSError subclass: the order of the
+        # except clauses matters, and plain OSErrors must still fail.
+        patched_stats_handler(OSError("disk trouble"))
+        assert main(["stats", "ignored.json"]) == 1
+        assert "error: disk trouble" in capsys.readouterr().err

@@ -1,0 +1,158 @@
+"""Unit tests for :meth:`RbacState.fingerprint`.
+
+The fingerprint is the analysis service's report-cache key, so the
+contract is exactly two-sided: every content mutation must change it,
+and insertion order must never change it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import Role, User
+from repro.core.state import RbacState
+
+
+def _hex256(value: str) -> None:
+    assert isinstance(value, str)
+    assert len(value) == 64
+    int(value, 16)  # raises if not hex
+
+
+class TestShape:
+    def test_empty_state_has_stable_hex_digest(self):
+        a, b = RbacState(), RbacState()
+        _hex256(a.fingerprint())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_is_deterministic_across_calls(self, paper_example):
+        assert paper_example.fingerprint() == paper_example.fingerprint()
+
+    def test_copy_preserves_fingerprint(self, paper_example):
+        assert paper_example.copy().fingerprint() == paper_example.fingerprint()
+
+
+class TestOrderInsensitivity:
+    def test_rebuild_in_reverse_order_same_fingerprint(self, paper_example):
+        rebuilt = RbacState.build(
+            users=reversed(paper_example.user_ids()),
+            roles=reversed(paper_example.role_ids()),
+            permissions=reversed(paper_example.permission_ids()),
+            user_assignments=reversed(
+                [
+                    (role_id, user_id)
+                    for role_id in paper_example.role_ids()
+                    for user_id in sorted(paper_example.users_of_role(role_id))
+                ]
+            ),
+            permission_assignments=reversed(
+                [
+                    (role_id, permission_id)
+                    for role_id in paper_example.role_ids()
+                    for permission_id in sorted(
+                        paper_example.permissions_of_role(role_id)
+                    )
+                ]
+            ),
+        )
+        assert rebuilt.fingerprint() == paper_example.fingerprint()
+
+    def test_interleaved_construction_same_fingerprint(self):
+        a = RbacState.build(
+            users=["u1", "u2"],
+            roles=["r1"],
+            permissions=["p1"],
+            user_assignments=[("r1", "u1"), ("r1", "u2")],
+            permission_assignments=[("r1", "p1")],
+        )
+        b = RbacState()
+        b.add_user("u2")
+        b.add_role("r1")
+        b.add_permission("p1")
+        b.assign_permission("r1", "p1")
+        b.add_user("u1")
+        b.assign_user("r1", "u2")
+        b.assign_user("r1", "u1")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_remove_then_re_add_restores_fingerprint(self, paper_example):
+        before = paper_example.fingerprint()
+        members = sorted(paper_example.users_of_role("R02"))
+        grants = sorted(paper_example.permissions_of_role("R02"))
+        paper_example.remove_role("R02")
+        assert paper_example.fingerprint() != before
+        paper_example.add_role("R02")
+        for user_id in members:
+            paper_example.assign_user("R02", user_id)
+        for permission_id in grants:
+            paper_example.assign_permission("R02", permission_id)
+        assert paper_example.fingerprint() == before
+
+
+class TestMutationSensitivity:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.add_user("new-user"),
+            lambda s: s.add_role("new-role"),
+            lambda s: s.add_permission("new-permission"),
+            lambda s: s.remove_user("U01"),
+            lambda s: s.remove_role("R03"),
+            lambda s: s.remove_permission("P01"),
+            lambda s: s.assign_user("R03", "U01"),
+            lambda s: s.revoke_user("R02", "U02"),
+            lambda s: s.assign_permission("R02", "P01"),
+            lambda s: s.revoke_permission("R04", "P05"),
+        ],
+        ids=[
+            "add_user",
+            "add_role",
+            "add_permission",
+            "remove_user",
+            "remove_role",
+            "remove_permission",
+            "assign_user",
+            "revoke_user",
+            "assign_permission",
+            "revoke_permission",
+        ],
+    )
+    def test_every_mutation_kind_changes_fingerprint(
+        self, paper_example, mutate
+    ):
+        before = paper_example.fingerprint()
+        mutate(paper_example)
+        assert paper_example.fingerprint() != before
+
+    def test_idempotent_assign_keeps_fingerprint(self, paper_example):
+        before = paper_example.fingerprint()
+        paper_example.assign_user("R02", "U02")  # already assigned
+        assert paper_example.fingerprint() == before
+
+    def test_entity_metadata_is_part_of_the_content(self):
+        plain = RbacState.build(users=["u1"])
+        named = RbacState()
+        named.add_user(User("u1", name="Alice"))
+        attributed = RbacState()
+        attributed.add_user(User("u1", attributes={"dept": "fraud"}))
+        prints = {
+            plain.fingerprint(),
+            named.fingerprint(),
+            attributed.fingerprint(),
+        }
+        assert len(prints) == 3
+
+    def test_same_id_different_kind_edges_distinguished(self):
+        # A user edge and a permission edge to an identically-named
+        # target must not collide.
+        a = RbacState()
+        a.add_role(Role("r"))
+        a.add_user("x")
+        a.add_permission("x")
+        a.assign_user("r", "x")
+        b = RbacState()
+        b.add_role(Role("r"))
+        b.add_user("x")
+        b.add_permission("x")
+        b.assign_permission("r", "x")
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,242 @@
+"""Step-by-step parity between the incremental auditor and the batch engine.
+
+``tests/core/test_incremental.py`` checks the end state of a mutation
+sequence; these tests assert the stronger per-step invariant that the
+service's ``GET /v1/counts`` endpoint relies on: after *every single*
+mutation in a random interleaved stream,
+
+    auditor.counts() == analyze(auditor.state).counts()
+
+including the awkward cases — removing an entity and re-adding the same
+id (with different edges), churn on a freshly-emptied state, and
+interleavings of structural (add/remove) and edge (assign/revoke) ops.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze
+from repro.core.incremental import IncrementalAuditor
+
+
+def batch_counts(auditor: IncrementalAuditor) -> dict[str, int]:
+    config = AnalysisConfig(
+        similarity_threshold=auditor.similarity_threshold
+    )
+    return analyze(auditor.state, config).counts()
+
+
+def assert_parity(auditor: IncrementalAuditor, context: str) -> None:
+    incremental = auditor.counts()
+    batch = batch_counts(auditor)
+    assert incremental == batch, (
+        f"counts drifted after {context}: "
+        f"incremental={incremental} batch={batch}"
+    )
+
+
+# All ten mutation kinds the service's /v1/mutations endpoint accepts,
+# weighted so streams keep a healthy mix of structure and edges alive.
+WEIGHTED_OPS = (
+    ["assign_user"] * 5
+    + ["assign_permission"] * 5
+    + ["revoke_user"] * 2
+    + ["revoke_permission"] * 2
+    + ["add_user", "add_role", "add_permission"]
+    + ["remove_user", "remove_role", "remove_permission"]
+)
+
+
+def random_step(
+    rng: random.Random, auditor: IncrementalAuditor, next_id: list[int]
+) -> str | None:
+    """Apply one random valid mutation; return its description or None."""
+    state = auditor.state
+    users = state.user_ids()
+    roles = state.role_ids()
+    permissions = state.permission_ids()
+    op = rng.choice(WEIGHTED_OPS)
+    if op == "assign_user" and roles and users:
+        role, user = rng.choice(roles), rng.choice(users)
+        if user in state.users_of_role(role):
+            return None
+        auditor.assign_user(role, user)
+        return f"assign_user({role}, {user})"
+    if op == "assign_permission" and roles and permissions:
+        role, perm = rng.choice(roles), rng.choice(permissions)
+        if perm in state.permissions_of_role(role):
+            return None
+        auditor.assign_permission(role, perm)
+        return f"assign_permission({role}, {perm})"
+    if op == "revoke_user" and roles:
+        role = rng.choice(roles)
+        members = sorted(state.users_of_role(role))
+        if not members:
+            return None
+        user = rng.choice(members)
+        auditor.revoke_user(role, user)
+        return f"revoke_user({role}, {user})"
+    if op == "revoke_permission" and roles:
+        role = rng.choice(roles)
+        grants = sorted(state.permissions_of_role(role))
+        if not grants:
+            return None
+        perm = rng.choice(grants)
+        auditor.revoke_permission(role, perm)
+        return f"revoke_permission({role}, {perm})"
+    if op == "add_user":
+        uid = f"u{next_id[0]}"
+        next_id[0] += 1
+        auditor.add_user(uid)
+        return f"add_user({uid})"
+    if op == "add_role":
+        rid = f"r{next_id[0]}"
+        next_id[0] += 1
+        auditor.add_role(rid)
+        return f"add_role({rid})"
+    if op == "add_permission":
+        pid = f"p{next_id[0]}"
+        next_id[0] += 1
+        auditor.add_permission(pid)
+        return f"add_permission({pid})"
+    if op == "remove_user" and users:
+        user = rng.choice(users)
+        auditor.remove_user(user)
+        return f"remove_user({user})"
+    if op == "remove_role" and roles:
+        role = rng.choice(roles)
+        auditor.remove_role(role)
+        return f"remove_role({role})"
+    if op == "remove_permission" and permissions:
+        perm = rng.choice(permissions)
+        auditor.remove_permission(perm)
+        return f"remove_permission({perm})"
+    return None
+
+
+def seed_auditor(
+    rng: random.Random, threshold: int
+) -> tuple[IncrementalAuditor, list[int]]:
+    auditor = IncrementalAuditor(similarity_threshold=threshold)
+    for i in range(4):
+        auditor.add_user(f"u{i}")
+        auditor.add_role(f"r{i}")
+        auditor.add_permission(f"p{i}")
+    for _ in range(8):
+        auditor.assign_user(
+            f"r{rng.randrange(4)}", f"u{rng.randrange(4)}"
+        )
+        auditor.assign_permission(
+            f"r{rng.randrange(4)}", f"p{rng.randrange(4)}"
+        )
+    return auditor, [4]
+
+
+class TestRandomInterleavedStreams:
+    @pytest.mark.parametrize("seed", [7, 1234, 999_331])
+    @pytest.mark.parametrize("threshold", [1, 2])
+    def test_parity_at_every_step(self, seed, threshold):
+        rng = random.Random(seed)
+        auditor, next_id = seed_auditor(rng, threshold)
+        assert_parity(auditor, "seeding")
+        applied = 0
+        attempts = 0
+        while applied < 50 and attempts < 400:
+            attempts += 1
+            description = random_step(rng, auditor, next_id)
+            if description is None:
+                continue
+            applied += 1
+            assert_parity(auditor, f"step {applied}: {description}")
+        assert applied == 50
+
+    def test_drain_to_empty_and_rebuild(self):
+        rng = random.Random(42)
+        auditor, next_id = seed_auditor(rng, threshold=1)
+        for user in list(auditor.state.user_ids()):
+            auditor.remove_user(user)
+            assert_parity(auditor, f"remove_user({user})")
+        for role in list(auditor.state.role_ids()):
+            auditor.remove_role(role)
+            assert_parity(auditor, f"remove_role({role})")
+        for perm in list(auditor.state.permission_ids()):
+            auditor.remove_permission(perm)
+            assert_parity(auditor, f"remove_permission({perm})")
+        assert auditor.state.n_roles == 0
+        for _ in range(20):
+            if random_step(rng, auditor, next_id) is not None:
+                assert_parity(auditor, "rebuild after drain")
+
+
+class TestRemoveThenReAdd:
+    """Re-using an id after removal must behave like a brand-new entity."""
+
+    def test_same_role_id_different_edges(self):
+        auditor = IncrementalAuditor(similarity_threshold=1)
+        for i in range(3):
+            auditor.add_user(f"u{i}")
+            auditor.add_permission(f"p{i}")
+        auditor.add_role("engineering")
+        auditor.add_role("sales")
+        for i in range(3):
+            auditor.assign_user("engineering", f"u{i}")
+            auditor.assign_permission("engineering", f"p{i}")
+        auditor.assign_user("sales", "u0")
+        assert_parity(auditor, "initial wiring")
+
+        auditor.remove_role("engineering")
+        assert_parity(auditor, "remove_role(engineering)")
+
+        # Same id, different shape: one member, one grant.
+        auditor.add_role("engineering")
+        assert_parity(auditor, "re-add engineering (empty)")
+        auditor.assign_user("engineering", "u2")
+        assert_parity(auditor, "re-added engineering gains u2")
+        auditor.assign_permission("engineering", "p0")
+        assert_parity(auditor, "re-added engineering gains p0")
+        assert auditor.state.users_of_role("engineering") == {"u2"}
+        assert auditor.state.permissions_of_role("engineering") == {"p0"}
+
+    def test_same_role_id_identical_edges(self):
+        auditor = IncrementalAuditor(similarity_threshold=2)
+        for i in range(4):
+            auditor.add_user(f"u{i}")
+            auditor.add_permission(f"p{i}")
+        auditor.add_role("ops")
+        auditor.add_role("ops-copy")
+        for role in ("ops", "ops-copy"):
+            for i in range(4):
+                auditor.assign_user(role, f"u{i}")
+                auditor.assign_permission(role, f"p{i}")
+        assert_parity(auditor, "duplicate pair wired")
+        baseline = auditor.counts()
+
+        auditor.remove_role("ops")
+        assert_parity(auditor, "remove_role(ops)")
+        auditor.add_role("ops")
+        for i in range(4):
+            auditor.assign_user("ops", f"u{i}")
+            assert_parity(auditor, f"re-add ops: assign_user(u{i})")
+            auditor.assign_permission("ops", f"p{i}")
+            assert_parity(auditor, f"re-add ops: assign_permission(p{i})")
+        assert auditor.counts() == baseline
+
+    def test_remove_re_add_interleaved_with_other_mutations(self):
+        rng = random.Random(2026)
+        auditor, next_id = seed_auditor(rng, threshold=1)
+        target = auditor.state.role_ids()[0]
+        for round_number in range(5):
+            auditor.remove_role(target)
+            assert_parity(auditor, f"round {round_number}: remove {target}")
+            for _ in range(3):
+                if random_step(rng, auditor, next_id) is not None:
+                    assert_parity(auditor, f"round {round_number}: noise")
+            auditor.add_role(target)
+            assert_parity(auditor, f"round {round_number}: re-add {target}")
+            users = auditor.state.user_ids()
+            if users:
+                auditor.assign_user(target, rng.choice(users))
+                assert_parity(auditor, f"round {round_number}: rewire")

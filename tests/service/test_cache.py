@@ -1,0 +1,135 @@
+"""Report-cache tests: LRU bounds, single-flight coalescing, deadlines."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.cache import ReportCache
+from repro.service.protocol import DeadlineExceeded
+
+
+class TestBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ReportCache(capacity=0)
+
+    def test_miss_then_hit(self):
+        cache = ReportCache()
+        calls = []
+        value, source = cache.get_or_compute("k", lambda: calls.append(1) or 7)
+        assert (value, source) == (7, "miss")
+        value, source = cache.get_or_compute("k", lambda: calls.append(1) or 8)
+        assert (value, source) == (7, "hit")
+        assert calls == [1]
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_lru_eviction_drops_the_oldest(self):
+        cache = ReportCache(capacity=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda k=key: k.upper())
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # "a" was evicted, "b" and "c" survive.
+        assert cache.get_or_compute("b", lambda: "fresh")[1] == "hit"
+        assert cache.get_or_compute("c", lambda: "fresh")[1] == "hit"
+        assert cache.get_or_compute("a", lambda: "recomputed") == (
+            "recomputed",
+            "miss",
+        )
+
+    def test_hit_refreshes_recency(self):
+        cache = ReportCache(capacity=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # touch "a": "b" is now oldest
+        cache.get_or_compute("c", lambda: 3)
+        assert cache.get_or_compute("a", lambda: 0)[1] == "hit"
+        assert cache.get_or_compute("b", lambda: 9)[1] == "miss"
+
+    def test_invalidate_drops_everything(self):
+        cache = ReportCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert cache.invalidate() == 2
+        assert cache.stats()["entries"] == 0
+        assert cache.get_or_compute("a", lambda: 3) == (3, "miss")
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_computation(self):
+        cache = ReportCache()
+        release = threading.Event()
+        compute_calls = []
+
+        def compute():
+            compute_calls.append(1)
+            assert release.wait(5)
+            return "result"
+
+        results = []
+
+        def request():
+            results.append(cache.get_or_compute("k", compute, timeout=5))
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Wait until all four are parked on the same in-flight computation.
+        for _ in range(500):
+            if cache.stats()["coalesced"] == 3:
+                break
+            threading.Event().wait(0.01)
+        assert cache.stats()["in_flight"] == 1
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert compute_calls == [1]
+        assert sorted(source for _, source in results) == [
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "miss",
+        ]
+        assert all(value == "result" for value, _ in results)
+
+    def test_error_propagates_to_waiters_and_is_not_cached(self):
+        cache = ReportCache()
+
+        def explode():
+            raise ValueError("bad analysis")
+
+        with pytest.raises(ValueError, match="bad analysis"):
+            cache.get_or_compute("k", explode)
+        assert cache.stats()["entries"] == 0
+        # The key is retryable: next request recomputes.
+        assert cache.get_or_compute("k", lambda: "ok") == ("ok", "miss")
+
+
+class TestDeadlines:
+    def test_deadline_abandons_the_wait_not_the_computation(self):
+        cache = ReportCache()
+        release = threading.Event()
+
+        def slow():
+            assert release.wait(5)
+            return "late but cached"
+
+        with pytest.raises(DeadlineExceeded):
+            cache.get_or_compute("k", slow, timeout=0.05)
+        assert cache.stats()["deadline_abandons"] == 1
+        # The abandoned computation still completes into the cache.
+        release.set()
+        for _ in range(500):
+            if cache.stats()["entries"] == 1:
+                break
+            threading.Event().wait(0.01)
+        assert cache.get_or_compute("k", lambda: "unused") == (
+            "late but cached",
+            "hit",
+        )

@@ -1,0 +1,130 @@
+"""Snapshot store tests: atomic writes, verified loads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.state import RbacState
+from repro.exceptions import DataFormatError
+from repro.service.store import (
+    SNAPSHOT_FORMAT,
+    SnapshotMeta,
+    SnapshotStore,
+)
+
+
+def sample_state() -> RbacState:
+    return RbacState.build(
+        users=["u0", "u1", "u2"],
+        roles=["r0", "r1"],
+        permissions=["p0", "p1", "p2"],
+        user_assignments=[("r0", "u0"), ("r0", "u1"), ("r1", "u2")],
+        permission_assignments=[("r0", "p0"), ("r1", "p1"), ("r1", "p2")],
+    )
+
+
+def sample_meta(state: RbacState) -> SnapshotMeta:
+    return SnapshotMeta(
+        mutation_seq=17,
+        fingerprint=state.fingerprint(),
+        saved_at=1_700_000_000.0,
+        extra={"reason": "test"},
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        state = sample_state()
+        store = SnapshotStore(tmp_path / "snap.json")
+        assert not store.exists()
+        store.save(state, sample_meta(state))
+        assert store.exists()
+        loaded, meta = store.load()
+        assert loaded == state
+        assert loaded.fingerprint() == state.fingerprint()
+        assert meta.mutation_seq == 17
+        assert meta.extra == {"reason": "test"}
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        state = sample_state()
+        store = SnapshotStore(tmp_path / "deep" / "nested" / "snap.json")
+        store.save(state, sample_meta(state))
+        assert store.exists()
+
+    def test_overwrite_replaces_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snap.json")
+        first = sample_state()
+        store.save(first, sample_meta(first))
+        second = sample_state()
+        second.add_user("u-new")
+        store.save(second, sample_meta(second))
+        loaded, _ = store.load()
+        assert loaded == second
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        state = sample_state()
+        store = SnapshotStore(tmp_path / "snap.json")
+        store.save(state, sample_meta(state))
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+
+class TestAtomicity:
+    def test_failed_save_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        store = SnapshotStore(tmp_path / "snap.json")
+        original = sample_state()
+        store.save(original, sample_meta(original))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr("repro.service.store.json.dump", boom)
+        with pytest.raises(RuntimeError):
+            store.save(sample_state(), sample_meta(sample_state()))
+        monkeypatch.undo()
+        loaded, meta = store.load()
+        assert loaded == original
+        assert meta.mutation_seq == 17
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+
+class TestLoadValidation:
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataFormatError, match="corrupt snapshot"):
+            SnapshotStore(path).load()
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DataFormatError, match=SNAPSHOT_FORMAT):
+            SnapshotStore(path).load()
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(
+            json.dumps({"format": SNAPSHOT_FORMAT, "version": 99})
+        )
+        with pytest.raises(DataFormatError, match="version"):
+            SnapshotStore(path).load()
+
+    def test_fingerprint_mismatch_detected(self, tmp_path):
+        state = sample_state()
+        store = SnapshotStore(tmp_path / "snap.json")
+        store.save(state, sample_meta(state))
+        document = json.loads(store.path.read_text(encoding="utf-8"))
+        # Tamper with the persisted edges behind the fingerprint's back.
+        document["state"]["user_assignments"] = [["r0", "u0"]]
+        store.path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(DataFormatError, match="fingerprint check"):
+            store.load()
+
+    def test_empty_fingerprint_skips_the_check(self, tmp_path):
+        state = sample_state()
+        store = SnapshotStore(tmp_path / "snap.json")
+        store.save(state, SnapshotMeta(mutation_seq=1, fingerprint=""))
+        loaded, meta = store.load()
+        assert loaded == state
+        assert meta.fingerprint == ""

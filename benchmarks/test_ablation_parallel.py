@@ -242,3 +242,96 @@ def test_parallel_engine_reproduces_serial_report_everywhere():
     assert [f.entity_ids for f in parallel.findings] == [
         f.entity_ids for f in serial.findings
     ]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory vs pickled-initargs data plane: setup cost
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    not MULTI_CORE, reason="data-plane setup cost needs a real fan-out"
+)
+def test_shm_data_plane_setup_beats_pickling():
+    """Shipping the scan arrays through one shared-memory segment must
+    beat re-pickling them into every worker.
+
+    Isolates the setup stage the two planes differ on — array transfer —
+    from the (identical) block compute: the pickled plane serialises and
+    deserialises the full array tuple once per worker, the shm plane
+    pays one copy into the segment plus per-worker attach (no copy).
+    """
+    import pickle
+
+    import numpy as np
+    import scipy.sparse as sp
+
+    from repro.parallel import attach, publish
+
+    # Sized so array volume (tens of MB), not per-segment syscall
+    # overhead, dominates the comparison — the regime the shm plane is
+    # built for.
+    rng = np.random.default_rng(9)
+    csr = sp.csr_matrix(
+        (rng.random((3000, 4000)) < 0.15).astype(np.int64)
+    )
+    csr_t = csr.T.tocsr()
+    norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+    workers = max(2, os.cpu_count() or 2)
+    initargs = (csr, csr_t, norms, 1, False, False, None)
+    arrays = {
+        "m_data": csr.data, "m_indices": csr.indices,
+        "m_indptr": csr.indptr, "t_data": csr_t.data,
+        "t_indices": csr_t.indices, "t_indptr": csr_t.indptr,
+        "norms": norms,
+    }
+
+    def pickled_setup():
+        for _ in range(workers):
+            pickle.loads(pickle.dumps(initargs))
+
+    def shm_setup():
+        with publish(arrays) as handle:
+            for _ in range(workers):
+                attach(pickle.loads(pickle.dumps(handle.manifest))).close()
+
+    pickled_seconds = min(_wall_clock(pickled_setup) for _ in range(3))
+    shm_seconds = min(_wall_clock(shm_setup) for _ in range(3))
+    assert shm_seconds < pickled_seconds, (
+        f"shm setup {shm_seconds:.4f}s not below pickled setup "
+        f"{pickled_seconds:.4f}s for {workers} workers"
+    )
+
+
+@pytest.mark.skipif(not MULTI_CORE, reason="needs >= 2 cores for speedup")
+def test_warm_pool_scan_beats_cold_pools():
+    """Reusing one WorkerPool across scans must beat a spawn per scan."""
+    import numpy as np
+
+    from repro.core.grouping.cooccurrence import blocked_scan
+    from repro.parallel import WorkerPool, use_pool
+
+    generated = generate_matrix(SPEEDUP_SPEC)
+    csr = generated.matrix.tocsr()
+    norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+    scans_per_round = 3
+
+    def cold_pools():
+        for _ in range(scans_per_round):
+            blocked_scan(
+                csr, norms, k=1, block_rows=256, n_workers=2,
+                kernel="sparse",
+            )
+
+    def warm_pool():
+        with WorkerPool(2) as pool, use_pool(pool):
+            for _ in range(scans_per_round):
+                blocked_scan(
+                    csr, norms, k=1, block_rows=256, n_workers=2,
+                    kernel="sparse",
+                )
+
+    cold_seconds = min(_wall_clock(cold_pools) for _ in range(2))
+    warm_seconds = min(_wall_clock(warm_pool) for _ in range(2))
+    assert warm_seconds < cold_seconds, (
+        f"warm pool {warm_seconds:.3f}s not below cold pools "
+        f"{cold_seconds:.3f}s"
+    )

@@ -17,7 +17,12 @@ This package provides:
 """
 
 from repro.bitmatrix.formats import FormatStats, evaluate_formats, recommend_format
-from repro.bitmatrix.packed import BitMatrix, popcount
+from repro.bitmatrix.packed import (
+    HAVE_HW_POPCOUNT,
+    BitMatrix,
+    pack_csr_rows,
+    popcount,
+)
 from repro.bitmatrix.sparse import (
     cooccurrence,
     csr_row_keys,
@@ -29,8 +34,10 @@ from repro.bitmatrix.sparse import (
 __all__ = [
     "BitMatrix",
     "FormatStats",
+    "HAVE_HW_POPCOUNT",
     "evaluate_formats",
     "recommend_format",
+    "pack_csr_rows",
     "popcount",
     "cooccurrence",
     "csr_row_keys",

@@ -121,6 +121,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "memory; default: one monolithic block)",
     )
     analyze_parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "sparse", "bits"),
+        help="per-block co-occurrence kernel: sparse CSR matmul, "
+        "bit-packed AND+popcount, or cost-model dispatch (default); "
+        "the report is identical for every choice",
+    )
+    analyze_parser.add_argument(
         "--format",
         default="text",
         choices=("text", "markdown", "json", "csv"),
@@ -414,6 +422,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="row-block size for the co-occurrence product",
     )
     serve_parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "sparse", "bits"),
+        help="per-block co-occurrence kernel (auto = cost-model dispatch)",
+    )
+    serve_parser.add_argument(
         "--extensions",
         action="store_true",
         help="include extension detectors (shadowed roles) by default",
@@ -495,6 +509,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         similarity_threshold=args.similarity_threshold,
         n_workers=None if args.workers == 0 else args.workers,
         block_rows=args.block_rows,
+        kernel=args.kernel,
     )
     if args.extensions:
         config = AnalysisConfig.with_extensions(**options)
@@ -729,6 +744,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         similarity_threshold=args.similarity_threshold,
         n_workers=None if args.workers == 0 else args.workers,
         block_rows=args.block_rows,
+        kernel=args.kernel,
     )
     if args.extensions:
         analysis = AnalysisConfig.with_extensions(**options)

@@ -20,6 +20,7 @@ ordering, and ``counts()`` — is identical for every worker count.
 from __future__ import annotations
 
 import os
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -32,13 +33,20 @@ from repro.core.detectors import (
     SingleAssignmentDetector,
     StandaloneNodeDetector,
 )
+from repro.core.grouping.kernels import validate_kernel
 from repro.core.report import Report
 from repro.core.state import RbacState
 from repro.core.taxonomy import Axis, InefficiencyType
 from repro.exceptions import ConfigurationError
 from repro.obs import NullRecorder, Recorder, current_recorder, use_recorder
 from repro.obs.spans import counter_totals, span_count
-from repro.parallel import resolve_workers, validate_workers
+from repro.parallel import (
+    WorkerPool,
+    current_pool,
+    resolve_workers,
+    use_pool,
+    validate_workers,
+)
 
 #: All five taxonomy types, in paper order.
 ALL_TYPES: tuple[InefficiencyType, ...] = (
@@ -83,6 +91,12 @@ class AnalysisConfig:
         Row-block size for the co-occurrence finder's blocked product
         (``None`` = one monolithic block).  Forwarded to the finder when
         ``finder == "cooccurrence"``; ignored otherwise.
+    kernel:
+        Per-block co-occurrence kernel: ``"auto"`` (default; cost-model
+        dispatch between the two), ``"sparse"`` (CSR matmul), or
+        ``"bits"`` (bit-packed AND + popcount).  An execution knob like
+        ``n_workers``/``block_rows``: the report is identical for every
+        value.
     """
 
     enabled_types: tuple[InefficiencyType, ...] = ALL_TYPES
@@ -93,6 +107,7 @@ class AnalysisConfig:
     collapse_duplicates: bool = True
     n_workers: int | None = 1
     block_rows: int | None = None
+    kernel: str = "auto"
 
     @classmethod
     def with_extensions(cls, **kwargs) -> "AnalysisConfig":
@@ -119,6 +134,7 @@ class AnalysisConfig:
             raise ConfigurationError(
                 f"block_rows must be >= 1 or None, got {self.block_rows}"
             )
+        validate_kernel(self.kernel)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable view of the effective configuration.
@@ -135,7 +151,22 @@ class AnalysisConfig:
             "collapse_duplicates": self.collapse_duplicates,
             "n_workers": self.n_workers,
             "block_rows": self.block_rows,
+            "kernel": self.kernel,
         }
+
+
+def effective_scan_workers(config: AnalysisConfig) -> int:
+    """Resolved worker count the blocked scans will use under ``config``.
+
+    The engine-level ``n_workers`` parallelises *detection*; the blocked
+    co-occurrence scan fans out only when the co-occurrence finder's own
+    ``n_workers`` option asks for it.  The service uses this to decide
+    whether holding a warm :class:`~repro.parallel.WorkerPool` across
+    requests can pay off.
+    """
+    if config.finder == "cooccurrence":
+        return resolve_workers(config.finder_options.get("n_workers", 1))
+    return 1
 
 
 class AnalysisEngine:
@@ -155,18 +186,22 @@ class AnalysisEngine:
                 "block_rows", self.config.block_rows
             )
             self._scan_workers = finder_options.get("n_workers", 1)
+            self._scan_kernel = finder_options.get("kernel", self.config.kernel)
         else:
             self._scan_block_rows = self.config.block_rows
             self._scan_workers = 1
+            self._scan_kernel = self.config.kernel
 
     @staticmethod
     def _build_detectors(config: AnalysisConfig) -> list[Detector]:
         from repro.core.grouping import make_group_finder
 
         finder_options = dict(config.finder_options)
-        if config.finder == "cooccurrence" and config.block_rows is not None:
-            # Explicit finder_options win over the engine-level knob.
-            finder_options.setdefault("block_rows", config.block_rows)
+        if config.finder == "cooccurrence":
+            # Explicit finder_options win over the engine-level knobs.
+            if config.block_rows is not None:
+                finder_options.setdefault("block_rows", config.block_rows)
+            finder_options.setdefault("kernel", config.kernel)
 
         detectors: list[Detector] = []
         enabled = set(config.enabled_types)
@@ -234,7 +269,20 @@ class AnalysisEngine:
         timings: dict[str, float] = {}
         worker_stats: list[dict[str, Any]] | None = None
         n_workers = resolve_workers(self.config.n_workers)
-        with use_recorder(recorder):
+        stack = ExitStack()
+        # One worker pool per analyze() for the blocked scans: spawned
+        # once, reused by every axis, closed (segments unlinked) on the
+        # way out.  An ambient pool — e.g. one held warm by
+        # repro.service across requests — takes precedence.
+        if (
+            resolve_workers(self._scan_workers) > 1
+            and current_pool() is None
+        ):
+            pool = stack.enter_context(
+                WorkerPool(resolve_workers(self._scan_workers))
+            )
+            stack.enter_context(use_pool(pool))
+        with stack, use_recorder(recorder):
             with recorder.span(
                 "engine.analyze",
                 finder=self.config.finder,
@@ -271,6 +319,7 @@ class AnalysisEngine:
                     context.workspace.configure(
                         block_rows=self._scan_block_rows,
                         n_workers=self._scan_workers,
+                        kernel=self._scan_kernel,
                     )
                     with recorder.span("engine.workspace_warm") as warm_span:
                         for detector in warmable:

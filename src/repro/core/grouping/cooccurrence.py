@@ -28,25 +28,61 @@ of ``nnz(C)``.  Blocks are independent, which is what lets
 ``n_workers > 1`` fan them out across a process pool; the union-find
 reduction is order-insensitive, so the groups are identical for every
 ``block_rows`` and worker count.
+
+Kernel dispatch
+---------------
+*How* a block's co-occurrence counts are produced is a per-block choice
+(:mod:`repro.core.grouping.kernels`): the CSR matmul kernel for sparse
+blocks, a bit-packed AND + popcount kernel for dense ones, with ``auto``
+picking per block from a cost model.  Both kernels emit the same entry
+set, so downstream results are kernel-independent.
+
+Worker data plane
+-----------------
+When blocks fan out across processes the input arrays travel through
+``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`): published
+once per scan, attached read-only by workers, unlinked when the scan
+finishes.  Per-task payloads carry only a manifest and block bounds.
+If the ambient :class:`~repro.parallel.WorkerPool` is warm (engine- or
+service-owned), worker processes are reused across scans; without
+shared memory the scan falls back to the legacy pickled-``initargs``
+path, and without a usable pool to the serial loop — results are
+identical on every path.
 """
 
 from __future__ import annotations
 
 import tracemalloc
-from typing import Any, Iterable, Iterator
+from collections import OrderedDict
+from typing import Any, Callable
 
 import numpy as np
 import numpy.typing as npt
 import scipy.sparse as sp
 
+from repro.bitmatrix.packed import pack_csr_rows
 from repro.core.grouping.base import GroupFinder, register_group_finder
+from repro.core.grouping.kernels import (
+    plan_kernels,
+    reduce_block,
+    scan_block_bits,
+    scan_block_sparse,
+    validate_kernel,
+)
 from repro.exceptions import ConfigurationError
 from repro.obs import Recorder, current_recorder, use_recorder
-from repro.parallel import ParallelExecutor, resolve_workers
+from repro.parallel import (
+    ParallelExecutor,
+    SharedMemoryUnavailable,
+    WorkerPool,
+    current_pool,
+    publish,
+    resolve_workers,
+)
 from repro.util import DisjointSet
 
 #: Read-only per-worker state installed by :func:`_init_block_worker`
-#: (shipped once per worker, not once per block).
+#: (legacy pickled path: shipped once per worker, not once per block).
 _WORKER_STATE: dict[str, Any] = {}
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -59,6 +95,7 @@ def _init_block_worker(
     k: int | None,
     measure_memory: bool = False,
     collect_subsets: bool = False,
+    words: npt.NDArray[np.uint64] | None = None,
 ) -> None:
     _WORKER_STATE["csr"] = csr
     _WORKER_STATE["csr_t"] = csr_t
@@ -66,6 +103,7 @@ def _init_block_worker(
     _WORKER_STATE["k"] = k
     _WORKER_STATE["measure_memory"] = measure_memory
     _WORKER_STATE["collect_subsets"] = collect_subsets
+    _WORKER_STATE["words"] = words
 
 
 def _scan_block(
@@ -76,10 +114,15 @@ def _scan_block(
     collect_subsets: bool,
     start: int,
     stop: int,
+    kernel: str = "sparse",
+    words: npt.NDArray[np.uint64] | None = None,
 ) -> tuple[npt.NDArray[np.int64], ...]:
     """One row block of the co-occurrence scan.
 
-    Computes ``M[start:stop] @ Mᵀ`` and reduces its stored entries to
+    Produces the block's co-occurrence entries with the named concrete
+    kernel (``sparse`` or ``bits`` — dispatch happened upstream in
+    :func:`~repro.core.grouping.kernels.plan_kernels`) and reduces them
+    to
 
     * the *matching* pairs ``(i, j)``, ``i < j``, at Hamming distance
       ``<= k`` — together with their distances so callers can filter the
@@ -94,15 +137,18 @@ def _scan_block(
     memory at the densest single block.
 
     Each block is wrapped in a ``cooccurrence.block`` span carrying the
-    per-stage counters that make the kernel's cost explainable: stored
-    entries of the block product, candidate pairs examined, and pairs
-    matched.  When the current recorder opted into ``measure_memory``
-    the block's peak allocation is measured via ``tracemalloc``
-    (expensive, and it resets the interpreter's global peak marker —
-    hence opt-in; see :class:`repro.obs.Recorder`).
+    per-stage counters that make the kernel's cost explainable: entries
+    of the block product, candidate pairs examined, and pairs matched.
+    Both kernels produce the same entry set, so every one of these
+    counters is kernel-independent — only the span's ``kernel``
+    attribute records the choice.  When the current recorder opted into
+    ``measure_memory`` the block's peak allocation is measured via
+    ``tracemalloc`` (expensive, and it resets the interpreter's global
+    peak marker — hence opt-in; see :class:`repro.obs.Recorder`).
     """
     recorder = current_recorder()
     with recorder.span("cooccurrence.block", start=start, stop=stop) as span:
+        span.annotate(kernel=kernel)
         measure = recorder.measure_memory
         if measure:
             started_tracing = not tracemalloc.is_tracing()
@@ -110,33 +156,22 @@ def _scan_block(
                 tracemalloc.start()
             tracemalloc.reset_peak()
         try:
-            product = (csr[start:stop] @ csr_t).tocoo()
-            rows = product.row.astype(np.int64) + start
-            cols = product.col.astype(np.int64)
-            shared = product.data
-            span.add("cooccurrence.product_nnz", int(product.nnz))
+            if kernel == "bits":
+                if words is None:
+                    raise ValueError("bits kernel requires packed words")
+                rows, cols, shared = scan_block_bits(words, start, stop)
+            else:
+                rows, cols, shared = scan_block_sparse(csr, csr_t, start, stop)
+            span.add("cooccurrence.product_nnz", int(len(rows)))
 
-            sub_rows, sub_cols = _EMPTY, _EMPTY
+            (
+                matched_rows, matched_cols, hamming,
+                sub_rows, sub_cols, n_candidates,
+            ) = reduce_block(rows, cols, shared, norms, k, collect_subsets)
             if collect_subsets:
-                # g^{ij} = |R^i|  iff  R^i ⊆ R^j (diagonal excluded).
-                subset = (shared == norms[rows]) & (rows != cols)
-                sub_rows, sub_cols = rows[subset], cols[subset]
                 span.add("cooccurrence.subset_pairs", int(len(sub_rows)))
-
-            matched_rows, matched_cols, hamming = _EMPTY, _EMPTY, _EMPTY
             if k is not None:
-                # Only consider each unordered pair once.
-                upper = rows < cols
-                rows, cols, shared = rows[upper], cols[upper], shared[upper]
-                span.add("cooccurrence.candidate_pairs", int(len(rows)))
-
-                # hamming(i, j) = |R^i| + |R^j| - 2 g^{ij}; for k = 0 the
-                # "<= 0" test is the paper's indicator function I[i, j]
-                # (distance zero iff equal sets of equal size).
-                distance = norms[rows] + norms[cols] - 2 * shared
-                mask = distance <= k
-                matched_rows, matched_cols = rows[mask], cols[mask]
-                hamming = distance[mask]
+                span.add("cooccurrence.candidate_pairs", n_candidates)
                 span.add("cooccurrence.matched_pairs", int(len(matched_rows)))
         finally:
             if measure:
@@ -149,44 +184,16 @@ def _scan_block(
         return matched_rows, matched_cols, hamming, sub_rows, sub_cols
 
 
-def _block_matching_pairs(
-    csr: sp.csr_matrix,
-    csr_t: sp.csr_matrix,
-    norms: npt.NDArray[np.int64],
-    k: int,
-    start: int,
-    stop: int,
-) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
-    """Matching role pairs ``(i, j)``, ``i < j``, found in one row block."""
-    rows, cols, _, _, _ = _scan_block(csr, csr_t, norms, k, False, start, stop)
-    return rows, cols
-
-
-def _pairs_of_block(bounds: tuple[int, int]) -> tuple[
-    npt.NDArray[np.int64], npt.NDArray[np.int64], dict[str, Any]
+def _scan_of_block(task: tuple[int, int, str]) -> tuple[
+    tuple[npt.NDArray[np.int64], ...], dict[str, Any]
 ]:
-    """Process-pool task: block bounds in, matched pairs out.
+    """Legacy pool task (pickled ``initargs`` data plane).
 
     Also returns the block's trace fragment, recorded into a
     worker-local recorder, so the parent can graft the worker-side spans
     into its own trace in deterministic block order.
     """
-    local = Recorder(measure_memory=_WORKER_STATE.get("measure_memory", False))
-    with use_recorder(local):
-        rows, cols = _block_matching_pairs(
-            _WORKER_STATE["csr"],
-            _WORKER_STATE["csr_t"],
-            _WORKER_STATE["norms"],
-            _WORKER_STATE["k"],
-            *bounds,
-        )
-    return rows, cols, local.traces[-1].to_dict()
-
-
-def _scan_of_block(bounds: tuple[int, int]) -> tuple[
-    tuple[npt.NDArray[np.int64], ...], dict[str, Any]
-]:
-    """Process-pool task for :func:`blocked_scan` (full scan results)."""
+    start, stop, kernel = task
     local = Recorder(measure_memory=_WORKER_STATE.get("measure_memory", False))
     with use_recorder(local):
         arrays = _scan_block(
@@ -195,9 +202,132 @@ def _scan_of_block(bounds: tuple[int, int]) -> tuple[
             _WORKER_STATE["norms"],
             _WORKER_STATE["k"],
             _WORKER_STATE["collect_subsets"],
-            *bounds,
+            start,
+            stop,
+            kernel=kernel,
+            words=_WORKER_STATE["words"],
         )
     return arrays, local.traces[-1].to_dict()
+
+
+class _ScanSpec:
+    """Per-scan constants shipped with every shared-memory task.
+
+    A few hundred bytes: the segment manifest plus scalar scan
+    parameters.  The matrix arrays themselves never appear in task
+    tuples — that is the zero-copy contract the shm tests pin.
+    """
+
+    __slots__ = (
+        "manifest", "shape", "shape_t", "k", "collect_subsets",
+        "measure_memory", "has_words",
+    )
+
+    def __init__(
+        self, manifest, shape, shape_t, k, collect_subsets,
+        measure_memory, has_words,
+    ):
+        self.manifest = manifest
+        self.shape = shape
+        self.shape_t = shape_t
+        self.k = k
+        self.collect_subsets = collect_subsets
+        self.measure_memory = measure_memory
+        self.has_words = has_words
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+#: Worker-side cache of attached segments and the arrays rebuilt over
+#: them, keyed by segment name.  Bounded: a warm pool outlives many
+#: scans, and each evicted entry's mapping must be closed so the kernel
+#: can free the (already unlinked) segment's pages.
+_ATTACH_CACHE: OrderedDict[str, tuple[Any, dict[str, Any]]] = OrderedDict()
+_ATTACH_CACHE_SIZE = 4
+
+
+def _attached_arrays(spec: _ScanSpec) -> dict[str, Any]:
+    """Rebuild (or fetch cached) views over the task's shared segment."""
+    from repro.parallel import attach  # local import keeps fork cheap
+
+    cached = _ATTACH_CACHE.get(spec.manifest.name)
+    if cached is not None:
+        _ATTACH_CACHE.move_to_end(spec.manifest.name)
+        return cached[1]
+    segment = attach(spec.manifest)
+    views = segment.views
+    csr = sp.csr_matrix(
+        (views["m_data"], views["m_indices"], views["m_indptr"]),
+        shape=spec.shape, copy=False,
+    )
+    csr_t = sp.csr_matrix(
+        (views["t_data"], views["t_indices"], views["t_indptr"]),
+        shape=spec.shape_t, copy=False,
+    )
+    # The parent sorted indices before publishing; recording that here
+    # stops scipy from attempting an in-place sort on read-only buffers.
+    csr.has_sorted_indices = True
+    csr_t.has_sorted_indices = True
+    arrays = {
+        "csr": csr,
+        "csr_t": csr_t,
+        "norms": views["norms"],
+        "words": views["words"] if spec.has_words else None,
+    }
+    _ATTACH_CACHE[spec.manifest.name] = (segment, arrays)
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_SIZE:
+        _, (old_segment, _) = _ATTACH_CACHE.popitem(last=False)
+        old_segment.close()
+    return arrays
+
+
+def _scan_shm_task(task: tuple[_ScanSpec, int, int, str]) -> tuple[
+    tuple[npt.NDArray[np.int64], ...], dict[str, Any]
+]:
+    """Pool task for the shared-memory data plane.
+
+    Self-contained (no pool initializer), so one warm pool can serve
+    scans with different parameters back to back.
+    """
+    spec, start, stop, kernel = task
+    arrays = _attached_arrays(spec)
+    local = Recorder(measure_memory=spec.measure_memory)
+    with use_recorder(local):
+        result = _scan_block(
+            arrays["csr"],
+            arrays["csr_t"],
+            arrays["norms"],
+            spec.k,
+            spec.collect_subsets,
+            start,
+            stop,
+            kernel=kernel,
+            words=arrays["words"],
+        )
+    return result, local.traces[-1].to_dict()
+
+
+def _resolve_words(
+    words: npt.NDArray[np.uint64] | Callable[[], npt.NDArray[np.uint64]] | None,
+    csr: sp.csr_matrix,
+) -> npt.NDArray[np.uint64]:
+    """Materialise packed words for the bits kernel.
+
+    Accepts an array, a zero-argument callable (the workspace passes its
+    memoised ``bits`` artifact lazily so sparse-only plans never pack),
+    or ``None`` (pack from the CSR block by block, never densifying the
+    whole matrix).
+    """
+    if words is None:
+        return pack_csr_rows(csr)
+    if callable(words):
+        return words()
+    return words
 
 
 def blocked_scan(
@@ -207,6 +337,8 @@ def blocked_scan(
     collect_subsets: bool = False,
     block_rows: int | None = None,
     n_workers: int | None = 1,
+    kernel: str = "auto",
+    words: npt.NDArray[np.uint64] | Callable[[], npt.NDArray[np.uint64]] | None = None,
 ) -> "ScanResult":
     """One blocked pass over ``C = M·Mᵀ``, reduced to reusable pairs.
 
@@ -219,16 +351,23 @@ def blocked_scan(
     Per block the product is immediately reduced (matched pairs with
     their Hamming distances, plus directed subset pairs when requested)
     before the next block is formed, so peak memory stays bounded by the
-    densest single block for every combination of collections.  Blocks
-    fan out over a process pool when ``n_workers > 1``; results and the
-    grafted trace fragments are concatenated in block order, so the
-    outcome is identical for every ``block_rows`` / worker count.
+    densest single block for every combination of collections.  Each
+    block runs the kernel :func:`~repro.core.grouping.kernels.plan_kernels`
+    chose for it; the per-kernel block counts are recorded as
+    ``cooccurrence.kernel_blocks.<name>`` counters.  Blocks fan out over
+    a process pool when ``n_workers > 1`` — preferring the ambient
+    :class:`~repro.parallel.WorkerPool` and the shared-memory data plane,
+    falling back to pickled ``initargs`` and ultimately the serial loop —
+    and results plus grafted trace fragments are concatenated in block
+    order, so the outcome is identical for every ``block_rows`` / worker
+    count / kernel / data plane.
 
     Emits one ``cooccurrence.block`` span per block (under whatever span
     is currently open) and returns the number of blocks on the result;
     callers are expected to record it as the ``cooccurrence.blocks``
     counter on their own span.
     """
+    validate_kernel(kernel)
     n_rows = csr.shape[0]
     if n_rows == 0:
         return ScanResult(k, _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY, 0)
@@ -237,28 +376,124 @@ def blocked_scan(
         (start, min(start + effective_block, n_rows))
         for start in range(0, n_rows, effective_block)
     ]
+    # M and Mᵀ are both kept in CSR so every block product is a
+    # CSR @ CSR multiply (scipy would otherwise re-convert the lazy
+    # transpose view once per block).
     csr_t = csr.T.tocsr()
     recorder = current_recorder()
+
+    plan = plan_kernels(csr, csr_t, bounds, kernel)
+    for name in ("sparse", "bits"):
+        count = plan.count(name)
+        if count:
+            recorder.add(f"cooccurrence.kernel_blocks.{name}", count)
+    packed = _resolve_words(words, csr) if "bits" in plan else None
+
     workers = resolve_workers(n_workers)
     if workers > 1 and len(bounds) > 1:
+        pieces = _scan_parallel(
+            csr, csr_t, norms, k, collect_subsets, bounds, plan, packed,
+            workers, recorder,
+        )
+    else:
+        pieces = [
+            _scan_block(
+                csr, csr_t, norms, k, collect_subsets, start, stop,
+                kernel=block_kernel, words=packed,
+            )
+            for (start, stop), block_kernel in zip(bounds, plan)
+        ]
+    merged = [np.concatenate(column) for column in zip(*pieces)]
+    return ScanResult(k, *merged, n_blocks=len(bounds))
+
+
+def _scan_parallel(
+    csr, csr_t, norms, k, collect_subsets, bounds, plan, packed,
+    workers, recorder,
+) -> list[tuple[npt.NDArray[np.int64], ...]]:
+    """Fan blocks over workers: shm data plane first, pickled fallback.
+
+    Publishes the scan's arrays into one shared-memory segment and maps
+    manifest-only tasks over the ambient pool (creating an ephemeral one
+    when none is installed).  When shared memory is unavailable the
+    legacy ``initargs`` plane re-pickles the arrays into each worker —
+    slower, never wrong.
+    """
+    try:
+        handle = _publish_scan(csr, csr_t, norms, packed)
+    except SharedMemoryUnavailable as error:
+        recorder.add("shm.unavailable", 1)
         executor = ParallelExecutor(
             workers,
             initializer=_init_block_worker,
             initargs=(
-                csr, csr_t, norms, k, recorder.measure_memory, collect_subsets
+                csr, csr_t, norms, k, recorder.measure_memory,
+                collect_subsets, packed,
             ),
         )
         pieces = []
-        for arrays, payload in executor.map(_scan_of_block, bounds):
+        tasks = [(start, stop, kern) for (start, stop), kern in zip(bounds, plan)]
+        for arrays, payload in executor.map(_scan_of_block, tasks):
             recorder.graft(payload)
             pieces.append(arrays)
+        return pieces
+
+    recorder.add("shm.segments_published", 1)
+    recorder.add("shm.bytes_published", handle.nbytes)
+    pool = current_pool()
+    ephemeral = pool is None
+    if ephemeral:
+        pool = WorkerPool(workers)
     else:
-        pieces = [
-            _scan_block(csr, csr_t, norms, k, collect_subsets, start, stop)
-            for start, stop in bounds
-        ]
-    merged = [np.concatenate(column) for column in zip(*pieces)]
-    return ScanResult(k, *merged, n_blocks=len(bounds))
+        pool.adopt_segment(handle)
+    spec = _ScanSpec(
+        manifest=handle.manifest,
+        shape=csr.shape,
+        shape_t=csr_t.shape,
+        k=k,
+        collect_subsets=collect_subsets,
+        measure_memory=recorder.measure_memory,
+        has_words=packed is not None,
+    )
+    tasks = [
+        (spec, start, stop, kern)
+        for (start, stop), kern in zip(bounds, plan)
+    ]
+    try:
+        pieces = []
+        for arrays, payload in pool.map(_scan_shm_task, tasks):
+            recorder.graft(payload)
+            pieces.append(arrays)
+        return pieces
+    finally:
+        # Unlink eagerly: on Linux existing worker mappings survive the
+        # unlink, and the attach caches are bounded, so pages are freed
+        # as soon as the last mapping closes.
+        if ephemeral:
+            handle.close()
+            pool.close()
+        else:
+            pool.release_segment(handle)
+
+
+def _publish_scan(csr, csr_t, norms, packed):
+    """Publish one scan's arrays into a single shared-memory segment."""
+    # Sort parent-side once so workers can mark the rebuilt matrices
+    # sorted instead of scipy re-sorting read-only buffers in place.
+    csr.sort_indices()
+    csr_t.sort_indices()
+    arrays = {
+        "m_data": csr.data,
+        "m_indices": csr.indices,
+        "m_indptr": csr.indptr,
+        "t_data": csr_t.data,
+        "t_indices": csr_t.indices,
+        "t_indptr": csr_t.indptr,
+        "norms": norms,
+    }
+    if packed is not None:
+        arrays["words"] = packed
+    return publish(arrays)
 
 
 class ScanResult:
@@ -306,7 +541,7 @@ class ScanResult:
 
 @register_group_finder("cooccurrence")
 class CooccurrenceGroupFinder(GroupFinder):
-    """Exact, deterministic group finder via sparse co-occurrence counts.
+    """Exact, deterministic group finder via co-occurrence counts.
 
     Parameters
     ----------
@@ -314,15 +549,22 @@ class CooccurrenceGroupFinder(GroupFinder):
         Rows of ``M`` per product block.  ``None`` (the default) computes
         the whole product in a single block — the original monolithic
         behaviour; any value >= 1 bounds peak memory at the cost of one
-        sparse product per block.  Output is identical for every value.
+        product per block.  Output is identical for every value.
     n_workers:
         Worker processes for the blocked product (``None`` = all cores).
         With one worker, or a single block, everything runs in-process.
         Output is identical for every worker count.
+    kernel:
+        Per-block kernel choice: ``sparse`` (CSR matmul), ``bits``
+        (packed AND + popcount), or ``auto`` (cost-model dispatch, the
+        default).  Output is identical for every kernel.
     """
 
     def __init__(
-        self, block_rows: int | None = None, n_workers: int | None = 1
+        self,
+        block_rows: int | None = None,
+        n_workers: int | None = 1,
+        kernel: str = "auto",
     ) -> None:
         if block_rows is not None and block_rows < 1:
             raise ConfigurationError(
@@ -330,6 +572,7 @@ class CooccurrenceGroupFinder(GroupFinder):
             )
         self._block_rows = block_rows
         self._n_workers = resolve_workers(n_workers)
+        self._kernel = validate_kernel(kernel)
 
     def find_groups(
         self, matrix: Any, max_differences: int = 0
@@ -346,15 +589,19 @@ class CooccurrenceGroupFinder(GroupFinder):
             span.add("cooccurrence.input_nnz", int(csr.nnz))
 
             norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+            scan = blocked_scan(
+                csr,
+                norms,
+                k=k,
+                block_rows=self._block_rows,
+                n_workers=self._n_workers,
+                kernel=self._kernel,
+            )
+            span.add("cooccurrence.blocks", scan.n_blocks)
+
             components = DisjointSet(n_rows)
-
-            n_blocks = 0
-            for rows, cols in self._matching_pairs(csr, norms, k):
-                n_blocks += 1
-                for i, j in zip(rows.tolist(), cols.tolist()):
-                    components.union(i, j)
-            span.add("cooccurrence.blocks", n_blocks)
-
+            for i, j in zip(scan.rows.tolist(), scan.cols.tolist()):
+                components.union(i, j)
             self._union_non_overlapping(components, norms, k)
             groups = components.groups(min_size=2)
             span.add("cooccurrence.groups", len(groups))
@@ -371,7 +618,7 @@ class CooccurrenceGroupFinder(GroupFinder):
         artifact (one blocked pass per axis, shared with every other
         consumer) instead of a private product.  On a cold workspace the
         pass runs here, under this finder's span, with this finder's
-        ``block_rows`` / ``n_workers`` as hints.
+        ``block_rows`` / ``n_workers`` / ``kernel`` as hints.
         """
         k = self._check_threshold(max_differences)
         n_rows = view.n_rows
@@ -386,6 +633,7 @@ class CooccurrenceGroupFinder(GroupFinder):
                 k,
                 block_rows=self._block_rows,
                 n_workers=self._n_workers,
+                kernel=self._kernel,
             )
             components = DisjointSet(n_rows)
             for i, j in zip(rows.tolist(), cols.tolist()):
@@ -403,65 +651,14 @@ class CooccurrenceGroupFinder(GroupFinder):
             k=int(max_differences),
             block_rows=self._block_rows,
             n_workers=self._n_workers,
+            kernel=self._kernel,
         )
-
-    def _matching_pairs(
-        self,
-        csr: sp.csr_matrix,
-        norms: npt.NDArray[np.int64],
-        k: int,
-    ) -> Iterable[tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]]:
-        """Matched pairs per block, blocked/parallel as configured."""
-        n_rows = csr.shape[0]
-        block_rows = self._block_rows or n_rows
-        bounds = [
-            (start, min(start + block_rows, n_rows))
-            for start in range(0, n_rows, block_rows)
-        ]
-        # M and Mᵀ are both kept in CSR so every block product is a
-        # CSR @ CSR multiply (scipy would otherwise re-convert the lazy
-        # transpose view once per block).
-        csr_t = csr.T.tocsr()
-        if self._n_workers > 1 and len(bounds) > 1:
-            return self._matching_pairs_parallel(csr, csr_t, norms, k, bounds)
-        # Serial: yield lazily so only one block product is alive at a
-        # time — this is what bounds peak memory.
-        return (
-            _block_matching_pairs(csr, csr_t, norms, k, start, stop)
-            for start, stop in bounds
-        )
-
-    def _matching_pairs_parallel(
-        self,
-        csr: sp.csr_matrix,
-        csr_t: sp.csr_matrix,
-        norms: npt.NDArray[np.int64],
-        k: int,
-        bounds: list[tuple[int, int]],
-    ) -> Iterator[tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]]:
-        """Fan block products over a pool; graft worker spans in order.
-
-        Worker-side block spans come back as serialised fragments and
-        are grafted into the parent trace in block order (the same
-        order the serial path records them), keeping the merged trace
-        deterministic for every worker count.
-        """
-        recorder = current_recorder()
-        executor = ParallelExecutor(
-            self._n_workers,
-            initializer=_init_block_worker,
-            initargs=(csr, csr_t, norms, k, recorder.measure_memory),
-        )
-        results = executor.map(_pairs_of_block, bounds)
-        for rows, cols, payload in results:
-            recorder.graft(payload)
-            yield rows, cols
 
     @staticmethod
     def _union_non_overlapping(
         components: DisjointSet, norms: np.ndarray, k: int
     ) -> None:
-        """Handle pairs absent from the sparse product (zero overlap).
+        """Handle pairs absent from the co-occurrence entries (zero overlap).
 
         Two non-overlapping roles are within distance ``k`` iff
         ``|R^i| + |R^j| <= k`` (for ``k = 0``: both empty).  Every such

@@ -52,7 +52,7 @@ import numpy as np
 import numpy.typing as npt
 import scipy.sparse as sp
 
-from repro.bitmatrix import BitMatrix, csr_row_keys
+from repro.bitmatrix import BitMatrix, csr_row_keys, pack_csr_rows
 from repro.core.grouping.cooccurrence import ScanResult, blocked_scan
 from repro.obs import (
     ARTIFACT_BYTES,
@@ -123,14 +123,19 @@ class AxisWorkspace(_ArtifactCache):
         matrix: "AssignmentMatrix",
         block_rows: int | None = None,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         super().__init__()
         self.matrix = matrix
         self._block_rows = block_rows
         self._n_workers = n_workers
+        self._kernel = kernel
         # configure() pins the scan shape; request hints only apply while
         # unpinned (standalone detectors carrying finder-level settings).
-        self._pinned = block_rows is not None or n_workers is not None
+        self._pinned = (
+            block_rows is not None or n_workers is not None
+            or kernel is not None
+        )
         self._scan: ScanResult | None = None
         self._scan_subsets = False
         self._want_k: int | None = None
@@ -141,12 +146,17 @@ class AxisWorkspace(_ArtifactCache):
     # Configuration
     # ------------------------------------------------------------------
     def configure(
-        self, block_rows: int | None = None, n_workers: int | None = None
+        self,
+        block_rows: int | None = None,
+        n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         """Pin the blocked-scan shape (engine-level settings win over
         per-finder hints passed through :meth:`request_scan`)."""
         self._block_rows = block_rows
         self._n_workers = n_workers
+        if kernel is not None:
+            self._kernel = kernel
         self._pinned = True
 
     # ------------------------------------------------------------------
@@ -193,8 +203,19 @@ class AxisWorkspace(_ArtifactCache):
 
     @property
     def bits(self) -> BitMatrix:
-        """Bit-packed view of the submatrix rows."""
-        return self._artifact("bits", lambda: BitMatrix(self.dense))
+        """Bit-packed view of the submatrix rows.
+
+        Packed straight from the CSR structure block by block
+        (:func:`repro.bitmatrix.pack_csr_rows`), so building the packed
+        words — the bits kernel's input — never materialises the full
+        dense matrix.
+        """
+        return self._artifact(
+            "bits",
+            lambda: BitMatrix.from_words(
+                pack_csr_rows(self.submatrix), self.submatrix.shape[1]
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Row-content artifacts
@@ -285,14 +306,15 @@ class AxisWorkspace(_ArtifactCache):
         subsets: bool = False,
         block_rows: int | None = None,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         """Register what an upcoming consumer needs from the scan.
 
         Requests accumulate; the pass itself runs on the next
         :meth:`scan` (typically the engine's warm flush) at the maximum
         requested ``k`` with the union of requested collections.
-        ``block_rows`` / ``n_workers`` are *hints* honoured only while
-        the workspace has not been pinned by :meth:`configure`.
+        ``block_rows`` / ``n_workers`` / ``kernel`` are *hints* honoured
+        only while the workspace has not been pinned by :meth:`configure`.
         """
         if k is not None:
             self._want_k = k if self._want_k is None else max(self._want_k, k)
@@ -303,6 +325,8 @@ class AxisWorkspace(_ArtifactCache):
                 self._block_rows = block_rows
             if n_workers is not None:
                 self._n_workers = n_workers
+            if kernel is not None:
+                self._kernel = kernel
 
     @property
     def scan_pending(self) -> bool:
@@ -345,6 +369,10 @@ class AxisWorkspace(_ArtifactCache):
             collect_subsets=subsets,
             block_rows=self._block_rows,
             n_workers=self._n_workers or 1,
+            kernel=self._kernel or "auto",
+            # Lazy: only a plan containing bits blocks packs the words,
+            # and a warm `bits` artifact is reused rather than re-packed.
+            words=lambda: self.bits.words,
         )
         recorder.add("cooccurrence.blocks", result.n_blocks)
         recorder.add(COOCCURRENCE_PASSES, 1)
@@ -358,13 +386,16 @@ class AxisWorkspace(_ArtifactCache):
         k: int,
         block_rows: int | None = None,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
         """Unordered submatrix-row pairs at Hamming distance ``<= k``.
 
         Served from the shared scan, filtered down by the stored
         distances when the scan ran at a larger ``k``.
         """
-        self.request_scan(k=k, block_rows=block_rows, n_workers=n_workers)
+        self.request_scan(
+            k=k, block_rows=block_rows, n_workers=n_workers, kernel=kernel
+        )
         return self.scan().pairs_at(k)
 
     @property
@@ -484,10 +515,12 @@ class CollapsedWorkspace(_ArtifactCache):
         subsets: bool = False,
         block_rows: int | None = None,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         """Forward to the parent: collapsed pairs derive from its scan."""
         self.parent.request_scan(
-            k=k, subsets=subsets, block_rows=block_rows, n_workers=n_workers
+            k=k, subsets=subsets, block_rows=block_rows,
+            n_workers=n_workers, kernel=kernel,
         )
 
     def matched_pairs(
@@ -495,6 +528,7 @@ class CollapsedWorkspace(_ArtifactCache):
         k: int,
         block_rows: int | None = None,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
         """Collapsed-row pairs at distance ``<= k``, derived by remap.
 
@@ -509,14 +543,18 @@ class CollapsedWorkspace(_ArtifactCache):
         """
         return self._artifact(
             f"collapsed_pairs[{k}]",
-            lambda: self._build_matched_pairs(k, block_rows, n_workers),
+            lambda: self._build_matched_pairs(k, block_rows, n_workers, kernel),
         )
 
     def _build_matched_pairs(
-        self, k: int, block_rows: int | None, n_workers: int | None
+        self,
+        k: int,
+        block_rows: int | None,
+        n_workers: int | None,
+        kernel: str | None,
     ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
         rows, cols = self.parent.matched_pairs(
-            k, block_rows=block_rows, n_workers=n_workers
+            k, block_rows=block_rows, n_workers=n_workers, kernel=kernel
         )
         class_index = self.parent.class_index
         a = class_index[rows].astype(np.int64)
@@ -545,17 +583,24 @@ class AnalysisWorkspace:
         self._axes: dict[str, AxisWorkspace] = {}
         self._block_rows: int | None = None
         self._n_workers: int | None = None
+        self._kernel: str | None = None
         self._configured = False
 
     def configure(
-        self, block_rows: int | None = None, n_workers: int | None = None
+        self,
+        block_rows: int | None = None,
+        n_workers: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         """Pin the blocked-scan shape for every axis (engine settings)."""
         self._block_rows = block_rows
         self._n_workers = n_workers
+        self._kernel = kernel
         self._configured = True
         for workspace in self._axes.values():
-            workspace.configure(block_rows=block_rows, n_workers=n_workers)
+            workspace.configure(
+                block_rows=block_rows, n_workers=n_workers, kernel=kernel
+            )
 
     def axis(self, axis: Any) -> AxisWorkspace:
         """The workspace for ``axis`` (an :class:`Axis` or its value)."""
@@ -568,7 +613,9 @@ class AnalysisWorkspace:
         workspace = AxisWorkspace(matrix)
         if self._configured:
             workspace.configure(
-                block_rows=self._block_rows, n_workers=self._n_workers
+                block_rows=self._block_rows,
+                n_workers=self._n_workers,
+                kernel=self._kernel,
             )
         self._axes[name] = workspace
         return workspace

@@ -10,5 +10,27 @@ from repro.parallel.executor import (
     resolve_workers,
     validate_workers,
 )
+from repro.parallel.pool import WorkerPool, current_pool, use_pool
+from repro.parallel.shm import (
+    AttachedSegment,
+    SegmentHandle,
+    SegmentManifest,
+    SharedMemoryUnavailable,
+    attach,
+    publish,
+)
 
-__all__ = ["ParallelExecutor", "resolve_workers", "validate_workers"]
+__all__ = [
+    "AttachedSegment",
+    "ParallelExecutor",
+    "SegmentHandle",
+    "SegmentManifest",
+    "SharedMemoryUnavailable",
+    "WorkerPool",
+    "attach",
+    "current_pool",
+    "publish",
+    "resolve_workers",
+    "use_pool",
+    "validate_workers",
+]

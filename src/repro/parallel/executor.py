@@ -21,6 +21,7 @@ same order, for every worker count.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -29,6 +30,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.obs import current_recorder
+
+logger = logging.getLogger(__name__)
 
 
 def validate_workers(n_workers: int | None) -> int | None:
@@ -132,9 +135,20 @@ class ParallelExecutor:
                 # Task functions are required to be pure, so re-running the
                 # whole batch serially is safe and yields identical results.
                 self.last_fallback_reason = f"{type(error).__name__}: {error}"
+                # Silent degradation hides capacity problems: surface the
+                # fallback as a log line and a counter (visible in
+                # Report.metrics and the service /metricz endpoint), not
+                # just a span attribute.
+                logger.warning(
+                    "process pool unavailable (%s); running %d task(s) "
+                    "serially in-process",
+                    self.last_fallback_reason,
+                    len(tasks),
+                )
                 span.annotate(
                     mode="serial-fallback", fallback=self.last_fallback_reason
                 )
+                span.add("parallel.fallbacks", 1)
                 return self._map_serial(fn, tasks)
 
     def _map_serial(

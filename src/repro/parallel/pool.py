@@ -1,0 +1,206 @@
+"""A reusable, context-managed worker pool for the scan data plane.
+
+:class:`~repro.parallel.executor.ParallelExecutor` creates a fresh
+``ProcessPoolExecutor`` per ``map`` call — correct, but the spawn cost
+(fork + interpreter warm-up) and the ``initargs`` pickling cost recur on
+every call.  :class:`WorkerPool` keeps one pool alive across calls:
+
+* the engine installs one pool per ``analyze()`` (reused across axes);
+* :class:`repro.service.AnalysisService` can hold one warm across
+  requests, closing it — and any shared-memory segments it still owns —
+  during SIGTERM drain;
+* the blocked scan discovers the ambient pool via :func:`current_pool`
+  and publishes arrays through shared memory instead of ``initargs``.
+
+Because the pool outlives any single call, tasks must be self-contained
+(no ``initializer``): the scan ships a tiny shared-memory manifest per
+task and workers rebuild views on attach.
+
+The contextvar is pid-guarded: under ``fork`` a worker inherits the
+parent's context, and a pool handle pointing at the parent's executor
+must never be visible inside a child process.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import os
+import pickle
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.obs import current_recorder
+from repro.parallel.executor import resolve_workers
+from repro.parallel.shm import SegmentHandle
+
+logger = logging.getLogger(__name__)
+
+_FALLBACK_ERRORS = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+    AttributeError,  # unpicklable closures/lambdas raise this
+    OSError,  # no fork / no semaphores in restricted sandboxes
+    PermissionError,
+)
+
+
+class WorkerPool:
+    """A lazily-spawned, reusable process pool plus segment registry.
+
+    The executor is created on the first :meth:`map` and reused by every
+    later call until :meth:`close`.  Shared-memory segments registered
+    via :meth:`adopt_segment` are closed (and therefore unlinked) with
+    the pool, which is the service-drain cleanup guarantee: whatever the
+    pool still owns when SIGTERM lands is released before exit.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = resolve_workers(n_workers)
+        self._pid = os.getpid()
+        self._executor: ProcessPoolExecutor | None = None
+        self._segments: list[SegmentHandle] = []
+        self._maps = 0
+        self._closed = False
+        # Safety net: unlink any still-registered segments even if the
+        # owner forgets to close (e.g. a test bails early).
+        self._finalizer = weakref.finalize(
+            self, _close_resources, self._segments
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def warm(self) -> bool:
+        """Whether a live executor already exists (reuse is free)."""
+        return self._executor is not None
+
+    def adopt_segment(self, handle: SegmentHandle) -> SegmentHandle:
+        """Tie a published segment's lifetime to the pool (drain safety).
+
+        The scan still closes its segment eagerly when it finishes; this
+        registry only guarantees unlink if it never gets the chance
+        (service shutdown mid-analysis).
+        """
+        self._segments.append(handle)
+        return handle
+
+    def release_segment(self, handle: SegmentHandle) -> None:
+        """Close a segment and drop it from the registry (idempotent)."""
+        handle.close()
+        if handle in self._segments:
+            self._segments.remove(handle)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Order-preserving map over the (reused) pool.
+
+        Mirrors :meth:`ParallelExecutor.map` semantics: serial for one
+        worker or at most one task, serial fallback (with a WARNING and
+        a ``parallel.fallbacks`` counter) when the pool cannot be used.
+        Reuse of an already-warm executor is counted as
+        ``parallel.pool_reuses`` so the saved spawns are observable.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        tasks: Sequence[Any] = list(items)
+        recorder = current_recorder()
+        with recorder.span("parallel.map") as span:
+            span.annotate(n_workers=self.n_workers, n_items=len(tasks))
+            if self.n_workers <= 1 or len(tasks) <= 1:
+                span.annotate(mode="serial")
+                return [fn(task) for task in tasks]
+            reused = self._executor is not None
+            try:
+                executor = self._ensure_executor()
+                results = list(executor.map(fn, tasks))
+            except _FALLBACK_ERRORS as error:
+                reason = f"{type(error).__name__}: {error}"
+                logger.warning(
+                    "worker pool unavailable (%s); running %d task(s) "
+                    "serially in-process", reason, len(tasks),
+                )
+                span.annotate(mode="serial-fallback", fallback=reason)
+                span.add("parallel.fallbacks", 1)
+                self._discard_executor()
+                return [fn(task) for task in tasks]
+            span.annotate(mode="pool", pool="warm" if reused else "cold")
+            if reused:
+                span.add("parallel.pool_reuses", 1)
+            self._maps += 1
+            return results
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pool teardown
+                pass
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the executor down and unlink any registered segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        _close_resources(self._segments)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("warm" if self.warm else "cold")
+        return f"WorkerPool(n_workers={self.n_workers}, {state})"
+
+
+def _close_resources(segments: list[SegmentHandle]) -> None:
+    while segments:
+        segments.pop().close()
+
+
+_current_pool: contextvars.ContextVar[WorkerPool | None] = contextvars.ContextVar(
+    "repro_worker_pool", default=None
+)
+
+
+def current_pool() -> WorkerPool | None:
+    """The ambient :class:`WorkerPool`, if one is installed and usable.
+
+    Returns ``None`` inside forked worker processes even though the
+    contextvar was inherited (the parent's executor is not usable from a
+    child), and ``None`` for pools that have been closed.
+    """
+    pool = _current_pool.get()
+    if pool is None or pool.closed or pool._pid != os.getpid():
+        return None
+    return pool
+
+
+@contextmanager
+def use_pool(pool: WorkerPool) -> Iterator[WorkerPool]:
+    """Install ``pool`` as the ambient pool for the ``with`` body.
+
+    Does not close the pool on exit — lifetime belongs to the owner
+    (engine per-analyze, or the service across requests).
+    """
+    token = _current_pool.set(pool)
+    try:
+        yield pool
+    finally:
+        _current_pool.reset(token)

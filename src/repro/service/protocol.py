@@ -185,6 +185,7 @@ _ANALYZE_OVERRIDES = (
     "extensions",
     "n_workers",
     "block_rows",
+    "kernel",
 )
 
 
@@ -214,6 +215,7 @@ def build_analysis_config(
         ),
         n_workers=overrides.get("n_workers", base.n_workers),
         block_rows=overrides.get("block_rows", base.block_rows),
+        kernel=overrides.get("kernel", base.kernel),
         finder_options=dict(base.finder_options),
         axes=base.axes,
         collapse_duplicates=base.collapse_duplicates,
@@ -239,12 +241,13 @@ def config_key(config: AnalysisConfig) -> str:
 
     Combined with :meth:`RbacState.fingerprint` it forms the report-cache
     key: two requests share a cache entry exactly when they would run
-    the same analysis over the same content.  Worker count and block
-    size are *excluded* — they change how the analysis is executed,
-    never its result (the engine's parity guarantee), so a report
-    computed with one worker layout is valid for every other.
+    the same analysis over the same content.  Worker count, block size
+    and kernel are *excluded* — they change how the analysis is
+    executed, never its result (the engine's parity guarantees), so a
+    report computed with one execution layout is valid for every other.
     """
     payload = config.to_dict()
     payload.pop("n_workers", None)
     payload.pop("block_rows", None)
+    payload.pop("kernel", None)
     return json.dumps(payload, sort_keys=True)

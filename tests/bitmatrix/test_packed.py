@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
-from repro.bitmatrix import BitMatrix, popcount
+from repro.bitmatrix import BitMatrix, pack_csr_rows, popcount
+from repro.bitmatrix.packed import _pack_rows, _popcount_table
 
 
 class TestPopcount:
@@ -34,6 +36,93 @@ class TestPopcount:
     def test_rejects_wrong_dtype(self):
         with pytest.raises(TypeError):
             popcount(np.zeros(3, dtype=np.int64))
+
+    def test_non_contiguous_input(self):
+        # Regression: column slices of a packed word array are strided,
+        # and the uint16 table view used to raise
+        # "To change to a view with different size, the last axis must
+        # be contiguous".
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**63, size=(5, 4), dtype=np.uint64)
+        column = words[:, 1]
+        assert not column.flags.c_contiguous or column.ndim == 1
+        expected = [bin(int(w)).count("1") for w in column]
+        assert popcount(column).tolist() == expected
+
+    def test_non_contiguous_2d_slice(self):
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 2**63, size=(6, 8), dtype=np.uint64)
+        view = words[::2, 1::3]  # strided in both axes
+        expected = popcount(np.ascontiguousarray(view))
+        assert popcount(view).tolist() == expected.tolist()
+
+    def test_table_fallback_matches_dispatch(self):
+        # The table path must stay correct (and strided-safe) even on
+        # numpy builds where the hardware ufunc handles normal traffic.
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2**63, size=(7, 5), dtype=np.uint64)
+        assert (_popcount_table(words) == popcount(words)).all()
+        view = words[:, ::2]
+        assert (_popcount_table(view) == popcount(view)).all()
+
+
+class TestPackCsrRows:
+    def _random_csr(self, seed, shape, density):
+        rng = np.random.default_rng(seed)
+        dense = rng.random(shape) < density
+        return sp.csr_matrix(dense.astype(np.int64)), dense
+
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.5, 1.0])
+    def test_matches_dense_packing(self, density):
+        csr, dense = self._random_csr(11, (23, 130), density)
+        assert (pack_csr_rows(csr) == _pack_rows(dense)).all()
+
+    def test_blockwise_matches_single_block(self):
+        csr, dense = self._random_csr(12, (50, 70), 0.3)
+        assert (
+            pack_csr_rows(csr, block_rows=7) == _pack_rows(dense)
+        ).all()
+
+    def test_empty_matrix(self):
+        csr = sp.csr_matrix((0, 10), dtype=np.int64)
+        assert pack_csr_rows(csr).shape == (0, 1)
+
+    def test_explicit_zeros_ignored(self):
+        data = np.array([1, 0, 1], dtype=np.int64)
+        indices = np.array([0, 1, 2], dtype=np.int64)
+        indptr = np.array([0, 3], dtype=np.int64)
+        csr = sp.csr_matrix((data, indices, indptr), shape=(1, 3))
+        packed = pack_csr_rows(csr)
+        assert popcount(packed).sum() == 2
+
+    def test_rejects_bad_block_rows(self):
+        csr = sp.csr_matrix(np.eye(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            pack_csr_rows(csr, block_rows=0)
+
+
+class TestFromWords:
+    def test_round_trip(self):
+        dense = np.random.default_rng(13).random((9, 100)) < 0.4
+        direct = BitMatrix(dense)
+        rebuilt = BitMatrix.from_words(direct.words, 100)
+        assert rebuilt.shape == direct.shape
+        assert (rebuilt.words == direct.words).all()
+        assert (rebuilt.row_popcounts == direct.row_popcounts).all()
+        assert (rebuilt.to_dense() == dense).all()
+
+    def test_zero_copy_when_contiguous(self):
+        words = np.zeros((3, 2), dtype=np.uint64)
+        bits = BitMatrix.from_words(words, 128)
+        assert bits.words is words
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_words(np.zeros((3, 2), dtype=np.uint64), 30)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_words(np.zeros(4, dtype=np.uint64), 64)
 
 
 class TestConstruction:

@@ -86,6 +86,31 @@ class TestAnalyze:
         assert main(["analyze", str(dataset_path), "--block-rows", "0"]) == 1
         assert "block_rows" in capsys.readouterr().err
 
+    def test_kernel_flag_results_identical(self, dataset_path, capsys):
+        counts = {}
+        for kernel in ("auto", "sparse", "bits"):
+            assert (
+                main(
+                    [
+                        "analyze",
+                        str(dataset_path),
+                        "--kernel",
+                        kernel,
+                        "--format",
+                        "json",
+                    ]
+                )
+                == 0
+            )
+            counts[kernel] = json.loads(capsys.readouterr().out)["counts"]
+        assert counts["sparse"] == counts["auto"]
+        assert counts["bits"] == counts["auto"]
+
+    def test_invalid_kernel_is_argparse_error(self, dataset_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(dataset_path), "--kernel", "gpu"])
+        assert "--kernel" in capsys.readouterr().err
+
 
 class TestGenerate:
     def test_org_json(self, tmp_path, capsys):

@@ -80,6 +80,35 @@ class TestPoolPath:
         assert doubled == [2, 4, 6]
         assert executor.last_fallback_reason is not None
 
+    def test_fallback_warns_and_counts(self, caplog):
+        # The silent-degradation fix: falling back to serial must leave
+        # an operator-visible trail — a WARNING log line and a
+        # ``parallel.fallbacks`` counter that reaches Report.metrics.
+        import logging
+
+        from repro.obs import Recorder, use_recorder
+
+        recorder = Recorder()
+        executor = ParallelExecutor(n_workers=2)
+        with use_recorder(recorder):
+            with caplog.at_level(
+                logging.WARNING, logger="repro.parallel.executor"
+            ):
+                executor.map(lambda x: 2 * x, [1, 2, 3])
+        assert any(
+            "serially in-process" in record.message
+            for record in caplog.records
+        )
+        assert recorder.counter_totals().get("parallel.fallbacks") == 1
+
+    def test_pool_success_logs_no_warning(self, caplog):
+        import logging
+
+        executor = ParallelExecutor(n_workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.executor"):
+            executor.map(_square, range(8))
+        assert not caplog.records
+
     def test_matches_serial_exactly(self):
         serial = ParallelExecutor(n_workers=1).map(_square, range(25))
         parallel = ParallelExecutor(n_workers=3).map(_square, range(25))

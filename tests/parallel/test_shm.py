@@ -1,0 +1,270 @@
+"""Tests for the shared-memory data plane and the reusable worker pool.
+
+Covers the zero-copy contract end to end: publish/attach round-trips,
+read-only views, unlink-on-close with no ``/dev/shm`` leak, graceful
+degradation (:class:`SharedMemoryUnavailable` → pickled fallback),
+:class:`WorkerPool` reuse/fallback/segment-registry semantics, the
+pid-guarded ambient pool, and the acceptance criterion that per-task
+scan payloads no longer carry the matrix arrays.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.parallel import (
+    SegmentHandle,
+    SharedMemoryUnavailable,
+    WorkerPool,
+    attach,
+    current_pool,
+    publish,
+    use_pool,
+)
+from repro.parallel import shm as shm_module
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        probe = shm_module._attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+class TestPublishAttach:
+    def test_round_trip_multiple_dtypes(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "floats": rng.random((7, 5)),
+            "ints": rng.integers(0, 100, size=40, dtype=np.int64),
+            "words": rng.integers(0, 2**63, size=(3, 4), dtype=np.uint64),
+            "empty": np.empty(0, dtype=np.int32),
+        }
+        with publish(arrays) as handle:
+            attached = attach(handle.manifest)
+            try:
+                for key, original in arrays.items():
+                    view = attached.views[key]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    assert np.array_equal(view, original)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only(self):
+        with publish({"a": np.arange(4)}) as handle:
+            attached = attach(handle.manifest)
+            with pytest.raises(ValueError):
+                attached.views["a"][0] = 9
+            attached.close()
+
+    def test_manifest_is_tiny_and_picklable(self):
+        big = np.zeros(1_000_000, dtype=np.int64)
+        with publish({"big": big}) as handle:
+            payload = pickle.dumps(handle.manifest)
+            assert len(payload) < 1024
+            restored = pickle.loads(payload)
+            assert restored.arrays["big"].shape == (1_000_000,)
+
+    def test_close_unlinks_segment(self):
+        handle = publish({"a": np.arange(8)})
+        name = handle.name
+        assert _segment_exists(name)
+        handle.close()
+        assert not _segment_exists(name)
+        handle.close()  # idempotent
+
+    def test_alignment(self):
+        # An odd-sized array must not misalign its successor.
+        arrays = {
+            "odd": np.zeros(3, dtype=np.uint8),
+            "wide": np.arange(5, dtype=np.float64),
+        }
+        with publish(arrays) as handle:
+            assert handle.manifest.arrays["wide"].offset % 8 == 0
+            attached = attach(handle.manifest)
+            assert np.array_equal(attached.views["wide"], arrays["wide"])
+            attached.close()
+
+    def test_publish_failure_raises_shared_memory_unavailable(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(
+            shm_module.shared_memory, "SharedMemory", refuse
+        )
+        with pytest.raises(SharedMemoryUnavailable):
+            publish({"a": np.arange(3)})
+
+    def test_attach_survives_unlink(self):
+        # Linux semantics the eager-unlink strategy relies on: a mapping
+        # created before the unlink keeps working afterwards.
+        handle = publish({"a": np.arange(6)})
+        attached = attach(handle.manifest)
+        handle.close()
+        assert np.array_equal(attached.views["a"], np.arange(6))
+        attached.close()
+
+
+class TestWorkerPool:
+    def test_serial_for_single_worker(self):
+        with WorkerPool(1) as pool:
+            assert pool.map(abs, [-1, -2]) == [1, 2]
+            assert not pool.warm
+
+    def test_serial_for_single_task(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(abs, [-3]) == [3]
+            assert not pool.warm
+
+    def test_map_after_close_raises(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.map(abs, [-1, -2])
+
+    def test_fallback_warns_and_counts(self, caplog):
+        from repro.obs import Recorder, use_recorder
+
+        recorder = Recorder()
+        with WorkerPool(2) as pool, use_recorder(recorder):
+            with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
+                # A lambda cannot be pickled into worker processes.
+                results = pool.map(lambda x: x * 2, [1, 2, 3])
+        assert results == [2, 4, 6]
+        assert any(
+            "running 3 task(s) serially" in record.message
+            for record in caplog.records
+        )
+        assert recorder.counter_totals().get("parallel.fallbacks") == 1
+
+    def test_adopt_and_release_segment(self):
+        pool = WorkerPool(2)
+        handle = pool.adopt_segment(publish({"a": np.arange(4)}))
+        name = handle.name
+        assert _segment_exists(name)
+        pool.release_segment(handle)
+        assert not _segment_exists(name)
+        pool.release_segment(handle)  # idempotent
+        pool.close()
+
+    def test_close_unlinks_adopted_segments(self):
+        # The service-drain guarantee: whatever the pool still owns when
+        # it closes is unlinked with it.
+        pool = WorkerPool(2)
+        handle = pool.adopt_segment(publish({"a": np.arange(4)}))
+        pool.close()
+        assert not _segment_exists(handle.name)
+
+
+class TestAmbientPool:
+    def test_default_is_none(self):
+        assert current_pool() is None
+
+    def test_use_pool_installs_and_restores(self):
+        pool = WorkerPool(2)
+        with use_pool(pool):
+            assert current_pool() is pool
+        assert current_pool() is None
+        pool.close()
+
+    def test_closed_pool_is_invisible(self):
+        pool = WorkerPool(2)
+        with use_pool(pool):
+            pool.close()
+            assert current_pool() is None
+
+    def test_nested_pools(self):
+        outer, inner = WorkerPool(2), WorkerPool(2)
+        with use_pool(outer):
+            with use_pool(inner):
+                assert current_pool() is inner
+            assert current_pool() is outer
+        outer.close()
+        inner.close()
+
+    def test_foreign_pid_pool_is_invisible(self):
+        pool = WorkerPool(2)
+        pool._pid = pool._pid + 1  # simulate a forked child's view
+        with use_pool(pool):
+            assert current_pool() is None
+        pool._pid -= 1
+        pool.close()
+
+
+class TestZeroCopyContract:
+    def test_scan_task_payload_excludes_matrices(self):
+        """Per-task pickles carry a manifest, never the matrix arrays."""
+        from repro.core.grouping.cooccurrence import _ScanSpec
+
+        rng = np.random.default_rng(1)
+        csr = sp.csr_matrix((rng.random((500, 400)) < 0.3).astype(np.int64))
+        csr_t = csr.T.tocsr()
+        norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+        with publish(
+            {
+                "m_data": csr.data, "m_indices": csr.indices,
+                "m_indptr": csr.indptr, "t_data": csr_t.data,
+                "t_indices": csr_t.indices, "t_indptr": csr_t.indptr,
+                "norms": norms,
+            }
+        ) as handle:
+            spec = _ScanSpec(
+                manifest=handle.manifest, shape=csr.shape,
+                shape_t=csr_t.shape, k=1, collect_subsets=True,
+                measure_memory=False, has_words=False,
+            )
+            task = (spec, 0, 100, "sparse")
+            payload = pickle.dumps(task)
+        # ~60k stored entries => hundreds of KB pickled the old way; the
+        # manifest-only task stays well under a single KB.
+        assert len(payload) < 1024
+
+    def test_parallel_scan_leaves_no_segment_behind(self):
+        import os
+
+        from repro.core.grouping.cooccurrence import blocked_scan
+
+        def shm_names():
+            try:
+                return set(os.listdir("/dev/shm"))
+            except FileNotFoundError:  # pragma: no cover - non-Linux
+                return set()
+
+        rng = np.random.default_rng(2)
+        csr = sp.csr_matrix((rng.random((40, 30)) < 0.3).astype(np.int64))
+        norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+        before = shm_names()
+        scan = blocked_scan(
+            csr, norms, k=1, block_rows=7, n_workers=2, kernel="sparse"
+        )
+        assert scan.n_blocks == 6
+        assert shm_names() <= before
+
+    def test_warm_pool_scan_releases_segment(self):
+        from repro.core.grouping.cooccurrence import blocked_scan
+
+        rng = np.random.default_rng(3)
+        csr = sp.csr_matrix((rng.random((40, 30)) < 0.3).astype(np.int64))
+        norms = np.asarray(csr.sum(axis=1)).ravel().astype(np.int64)
+        pool = WorkerPool(2)
+        with use_pool(pool):
+            serial = blocked_scan(csr, norms, k=1, block_rows=7, kernel="sparse")
+            warm = blocked_scan(
+                csr, norms, k=1, block_rows=7, n_workers=2, kernel="sparse"
+            )
+        # Eager release: nothing left in the registry for close() to do.
+        assert pool._segments == []
+        pool.close()
+        assert sorted(zip(warm.rows.tolist(), warm.cols.tolist())) == sorted(
+            zip(serial.rows.tolist(), serial.cols.tolist())
+        )

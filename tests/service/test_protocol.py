@@ -185,6 +185,14 @@ class TestBuildAnalysisConfig:
                 AnalysisConfig(), {"similarity_threshold": 0}
             )
 
+    def test_kernel_override_applies(self):
+        config = build_analysis_config(AnalysisConfig(), {"kernel": "bits"})
+        assert config.kernel == "bits"
+
+    def test_invalid_kernel_becomes_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid analyze options"):
+            build_analysis_config(AnalysisConfig(), {"kernel": "gpu"})
+
     def test_extensions_toggle_enabled_types(self):
         from repro.core.engine import ALL_TYPES, EXTENSION_TYPES
 
@@ -197,7 +205,7 @@ class TestBuildAnalysisConfig:
 class TestConfigKey:
     def test_execution_knobs_do_not_change_the_key(self):
         base = AnalysisConfig()
-        tuned = AnalysisConfig(n_workers=4, block_rows=64)
+        tuned = AnalysisConfig(n_workers=4, block_rows=64, kernel="bits")
         assert config_key(base) == config_key(tuned)
 
     def test_result_affecting_knobs_change_the_key(self):

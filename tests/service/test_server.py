@@ -381,6 +381,70 @@ class TestDrainAndSnapshot:
         service.close()
 
 
+class TestWarmPool:
+    """Lifecycle of the service-held scan-worker pool."""
+
+    def test_no_pool_for_serial_scans(self):
+        service = make_service()
+        service.start()
+        assert service._pool is None
+        service.close()
+
+    def test_pool_created_when_scans_fan_out(self):
+        service = make_service(
+            analysis=AnalysisConfig(finder_options={"n_workers": 2})
+        )
+        service.start()
+        assert service._pool is not None
+        assert service._pool.n_workers == 2
+        pool = service._pool
+        service.close()
+        assert pool.closed
+        assert service._pool is None
+
+    def test_analyze_runs_with_warm_pool(self):
+        service = make_service(
+            analysis=AnalysisConfig(
+                finder_options={"n_workers": 2, "block_rows": 2}
+            )
+        )
+        service.start()
+        try:
+            status, payload, _ = service.handle("POST", "/v1/analyze", b"{}")
+            assert status == 200
+            assert payload["report"]["counts"] == analyze(
+                service.state, service.config.analysis
+            ).counts()
+            # A kernel override is an execution knob: same cache entry.
+            status, payload, _ = service.handle(
+                "POST", "/v1/analyze", json.dumps({"kernel": "bits"}).encode()
+            )
+            assert status == 200
+            assert payload["cache"] == "hit"
+        finally:
+            service.close()
+
+    def test_drain_close_unlinks_adopted_segments(self):
+        # The SIGTERM-drain cleanup guarantee: segments an interrupted
+        # scan left in the pool registry are unlinked with the pool.
+        import numpy as np
+
+        from repro.parallel import publish
+
+        service = make_service(
+            analysis=AnalysisConfig(finder_options={"n_workers": 2})
+        )
+        service.start()
+        handle = service._pool.adopt_segment(publish({"a": np.arange(4)}))
+        service.begin_drain()
+        service.close(drain_reason="test-drain")
+        # Re-attaching by name must fail: the segment is gone.
+        from repro.parallel.shm import _attach_untracked
+
+        with pytest.raises(FileNotFoundError):
+            _attach_untracked(handle.name)
+
+
 class TestHTTPBinding:
     """One real loopback round trip through ThreadingHTTPServer."""
 

@@ -31,6 +31,11 @@ Subcommands
     Run the long-running analysis service: an HTTP/JSON daemon with
     mutation ingestion, report caching, backpressure, and graceful
     drain (see docs/ARCHITECTURE.md).
+``trace``
+    Analyse JSONL trace files written by ``--trace-out``: ``summarize``
+    (span trees, critical path, slowest spans), ``flame`` (collapsed
+    stacks for flamegraph.pl / speedscope), ``diff`` (per-span-name
+    delta between two runs).
 
 Run ``repro <subcommand> --help`` for the full flag list.
 """
@@ -445,7 +450,80 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream per-request traces as JSON Lines "
         "(schema: docs/OBSERVABILITY.md)",
     )
+    serve_parser.add_argument(
+        "--slo-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request latency SLO target; breaching endpoints degrade "
+        "/healthz to 503 (default: SLO tracking disabled)",
+    )
+    serve_parser.add_argument(
+        "--slo-window",
+        type=int,
+        default=100,
+        metavar="N",
+        help="recent requests per endpoint the SLO verdict considers",
+    )
+    serve_parser.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.1,
+        metavar="FRACTION",
+        help="tolerated fraction of over-target requests in the window",
+    )
+    serve_parser.add_argument(
+        "--tracez-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="recent request traces retained for GET /tracez",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="analyse JSONL trace files written by --trace-out",
+    )
+    trace_parser.set_defaults(handler=lambda args: (trace_parser.print_help(), 2)[1])
+    trace_sub = trace_parser.add_subparsers(dest="trace_command")
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="span-tree summary: critical path, per-name aggregates, "
+        "slowest spans",
+    )
+    trace_summarize.add_argument("tracefile", help="JSONL trace file")
+    trace_summarize.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="slowest spans shown",
+    )
+    trace_summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    trace_summarize.set_defaults(handler=_cmd_trace_summarize)
+
+    trace_flame = trace_sub.add_parser(
+        "flame",
+        help="export collapsed stacks (flamegraph.pl / speedscope format)",
+    )
+    trace_flame.add_argument("tracefile", help="JSONL trace file")
+    trace_flame.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write collapsed stacks here instead of stdout",
+    )
+    trace_flame.set_defaults(handler=_cmd_trace_flame)
+
+    trace_diff = trace_sub.add_parser(
+        "diff",
+        help="per-span-name delta table between two trace files",
+    )
+    trace_diff.add_argument("before", help="baseline JSONL trace file")
+    trace_diff.add_argument("after", help="comparison JSONL trace file")
+    trace_diff.add_argument(
+        "--json", action="store_true", help="emit the delta rows as JSON"
+    )
+    trace_diff.set_defaults(handler=_cmd_trace_diff)
 
     return parser
 
@@ -470,13 +548,14 @@ def _save_dataset(state: RbacState, path_text: str, as_csv: bool) -> None:
 # ----------------------------------------------------------------------
 # Subcommand handlers
 # ----------------------------------------------------------------------
-def _build_recorder(args: argparse.Namespace):
-    """Recorder + closeable sinks for the ``analyze`` observability flags.
+def _build_obs_sinks(args: argparse.Namespace):
+    """Sink wiring for the shared ``--log-level``/``--trace-out`` flags.
 
-    Returns ``(recorder, trace_sink)`` — both ``None`` when no flag asks
-    for observability (the engine then uses its own sink-less recorder).
+    One helper behind both ``analyze`` and ``serve`` so the two commands
+    cannot drift: returns ``(sinks, trace_sink)`` where ``trace_sink``
+    is the closeable :class:`~repro.obs.JsonlTraceSink` (or ``None``).
     """
-    from repro.obs import JsonlTraceSink, LoggingSink, Recorder
+    from repro.obs import JsonlTraceSink, LoggingSink
 
     sinks = []
     trace_sink = None
@@ -493,6 +572,18 @@ def _build_recorder(args: argparse.Namespace):
     if args.trace_out:
         trace_sink = JsonlTraceSink(args.trace_out)
         sinks.append(trace_sink)
+    return sinks, trace_sink
+
+
+def _build_recorder(args: argparse.Namespace):
+    """Recorder + closeable sinks for the ``analyze`` observability flags.
+
+    Returns ``(recorder, trace_sink)`` — both ``None`` when no flag asks
+    for observability (the engine then uses its own sink-less recorder).
+    """
+    from repro.obs import Recorder
+
+    sinks, trace_sink = _build_obs_sinks(args)
     if not sinks and not args.metrics_out:
         return None, None
     return Recorder(sinks=sinks, measure_memory=bool(args.metrics_out)), trace_sink
@@ -734,6 +825,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace_file, summarize_traces
+    from repro.obs.traceanalysis import format_summary
+
+    summary = summarize_traces(
+        load_trace_file(args.tracefile), top=args.top
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    # Orphan spans mean the file's parent links are broken — surface it
+    # in the exit code so CI smoke jobs catch stitched-tree regressions.
+    return 1 if summary["orphan_spans"] else 0
+
+
+def _cmd_trace_flame(args: argparse.Namespace) -> int:
+    from repro.obs import collapsed_stacks, load_trace_file
+
+    lines = collapsed_stacks(load_trace_file(args.tracefile))
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(lines)} collapsed stacks to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, load_trace_file
+    from repro.obs.traceanalysis import format_diff
+
+    rows = diff_traces(
+        load_trace_file(args.before), load_trace_file(args.after)
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_diff(rows))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -758,26 +896,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         refresh_seconds=args.refresh_seconds,
         snapshot_path=args.snapshot,
         warm_start=not args.no_warm,
+        slo_target_seconds=args.slo_target,
+        slo_window=args.slo_window,
+        slo_budget_fraction=args.slo_budget,
+        tracez_capacity=args.tracez_capacity,
         analysis=analysis,
     )
 
-    sinks = []
-    trace_sink = None
-    if args.log_level:
-        import logging
-
-        from repro.obs import LoggingSink
-
-        level = getattr(logging, args.log_level.upper())
-        logging.basicConfig(
-            level=level, format="%(asctime)s %(name)s %(message)s"
-        )
-        sinks.append(LoggingSink(level=level))
-    if args.trace_out:
-        from repro.obs import JsonlTraceSink
-
-        trace_sink = JsonlTraceSink(args.trace_out)
-        sinks.append(trace_sink)
+    sinks, trace_sink = _build_obs_sinks(args)
 
     state = None
     if args.dataset:

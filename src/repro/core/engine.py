@@ -337,6 +337,7 @@ class AnalysisEngine:
                         ) as span:
                             found = detector.detect(context)
                             span.add("findings", len(found))
+                        recorder.observe("detector.seconds", span.duration)
                         findings.extend(found)
                         timings[detector.name] = span.duration
         return Report(
@@ -345,7 +346,7 @@ class AnalysisEngine:
             timings=timings,
             total_seconds=root.duration,
             config=self.config,
-            metrics=self._build_metrics(root, n_workers, worker_stats),
+            metrics=self._build_metrics(root, n_workers, worker_stats, recorder),
         )
 
     def _build_metrics(
@@ -353,6 +354,7 @@ class AnalysisEngine:
         root: Any,
         n_workers: int,
         worker_stats: list[dict[str, Any]] | None,
+        recorder: Recorder,
     ) -> dict[str, Any]:
         """Assemble ``Report.metrics`` from the run's root span.
 
@@ -360,6 +362,19 @@ class AnalysisEngine:
         and worker mode (and counter totals are identical between serial
         and parallel runs of the same analysis); the ``per_worker``
         breakdown reflects OS scheduling and is not.
+
+        Schema 2 adds ``histograms``: per-name summaries (count, sum,
+        min/max, p50/p90/p99, log-spaced buckets) of the run's
+        distribution metrics — per-block kernel timings, per-detector
+        durations, published shm bytes.  Worker-local observations
+        travel back inside trace fragments and merge into the parent's
+        registry exactly (no observation lost or double-counted,
+        independent of worker count and merge order).  Observation
+        counts track the work partitioning: ``cooccurrence.block_seconds``
+        counts match serial and parallel runs exactly (warming happens in
+        the parent either way); ``detector.seconds`` counts one
+        observation per detector span serially and one per
+        (detector, axis) work item in parallel mode.
         """
         workers: dict[str, Any] = {
             "requested": self.config.n_workers,
@@ -369,9 +384,10 @@ class AnalysisEngine:
         if worker_stats is not None:
             workers["per_worker"] = worker_stats
         return {
-            "schema": 1,
+            "schema": 2,
             "counters": counter_totals(root),
             "spans": span_count(root),
+            "histograms": recorder.registry.histogram_summaries(),
             "workers": workers,
         }
 
@@ -417,12 +433,12 @@ class AnalysisEngine:
             if executor.last_fallback_reason is not None:
                 par_span.annotate(fallback=executor.last_fallback_reason)
             per_worker: dict[int, dict[str, Any]] = {}
-            for (name, _), (part_findings, payload, worker_pid) in zip(
-                items, results
+            for index, ((name, _), (part_findings, payload, worker_pid)) in (
+                enumerate(zip(items, results))
             ):
                 findings.extend(part_findings)
                 timings[name] = timings.get(name, 0.0) + payload["duration"]
-                recorder.graft(payload)
+                recorder.graft(payload, fragment=index)
                 stats = per_worker.setdefault(
                     worker_pid, {"items": 0, "seconds": 0.0}
                 )
@@ -469,7 +485,8 @@ def _detect_one(detector: Detector) -> tuple[list, dict[str, Any], int]:
         with local.span(f"detector:{detector.name}") as span:
             found = detector.detect(_WORKER_CONTEXT)
             span.add("findings", len(found))
-    return found, local.traces[-1].to_dict(), os.getpid()
+        local.observe("detector.seconds", local.traces[-1].duration)
+    return found, local.export_fragment(), os.getpid()
 
 
 def analyze(

@@ -181,7 +181,10 @@ def _scan_block(
                 )
                 if started_tracing:
                     tracemalloc.stop()
-        return matched_rows, matched_cols, hamming, sub_rows, sub_cols
+    # Observed outside the ``with`` so the span's duration is final;
+    # worker-local observations merge back via the trace fragment.
+    recorder.observe("cooccurrence.block_seconds", span.duration)
+    return matched_rows, matched_cols, hamming, sub_rows, sub_cols
 
 
 def _scan_of_block(task: tuple[int, int, str]) -> tuple[
@@ -207,7 +210,7 @@ def _scan_of_block(task: tuple[int, int, str]) -> tuple[
             kernel=kernel,
             words=_WORKER_STATE["words"],
         )
-    return arrays, local.traces[-1].to_dict()
+    return arrays, local.export_fragment()
 
 
 class _ScanSpec:
@@ -309,7 +312,7 @@ def _scan_shm_task(task: tuple[_ScanSpec, int, int, str]) -> tuple[
             kernel=kernel,
             words=arrays["words"],
         )
-    return result, local.traces[-1].to_dict()
+    return result, local.export_fragment()
 
 
 def _resolve_words(
@@ -433,13 +436,16 @@ def _scan_parallel(
         )
         pieces = []
         tasks = [(start, stop, kern) for (start, stop), kern in zip(bounds, plan)]
-        for arrays, payload in executor.map(_scan_of_block, tasks):
-            recorder.graft(payload)
+        for index, (arrays, payload) in enumerate(
+            executor.map(_scan_of_block, tasks)
+        ):
+            recorder.graft(payload, fragment=index)
             pieces.append(arrays)
         return pieces
 
     recorder.add("shm.segments_published", 1)
     recorder.add("shm.bytes_published", handle.nbytes)
+    recorder.observe("shm.publish_bytes", handle.nbytes)
     pool = current_pool()
     ephemeral = pool is None
     if ephemeral:
@@ -461,8 +467,10 @@ def _scan_parallel(
     ]
     try:
         pieces = []
-        for arrays, payload in pool.map(_scan_shm_task, tasks):
-            recorder.graft(payload)
+        for index, (arrays, payload) in enumerate(
+            pool.map(_scan_shm_task, tasks)
+        ):
+            recorder.graft(payload, fragment=index)
             pieces.append(arrays)
         return pieces
     finally:

@@ -30,10 +30,12 @@ deterministic (partition) order — see ``repro.core.engine`` and
 from __future__ import annotations
 
 import time
+import uuid
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Iterator
 
+from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import Span, counter_totals, span_count
 
 __all__ = [
@@ -42,11 +44,24 @@ __all__ = [
     "NULL_RECORDER",
     "current_recorder",
     "use_recorder",
+    "new_trace_id",
     "ARTIFACT_HITS",
     "ARTIFACT_MISSES",
     "ARTIFACT_BYTES",
     "COOCCURRENCE_PASSES",
 ]
+
+#: Key under which a worker fragment payload carries its metric-registry
+#: fragment (histogram buckets, counters).  Lives alongside the span
+#: tree's own keys in :meth:`Recorder.export_fragment` payloads;
+#: :meth:`Span.from_dict` ignores it and :meth:`Recorder.graft` merges
+#: it into the parent's registry.
+FRAGMENT_METRICS_KEY = "metrics"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace correlation ID."""
+    return uuid.uuid4().hex
 
 #: Counter names for the shared analysis workspace (see
 #: :mod:`repro.core.workspace`).  An *artifact* is one memoised derived
@@ -102,7 +117,12 @@ class NullRecorder:
     def add(self, counter: str, value: int | float = 1) -> None:
         pass
 
-    def graft(self, payload: dict[str, Any]) -> None:
+    def observe(self, name: str, value: int | float) -> None:
+        pass
+
+    def graft(
+        self, payload: dict[str, Any], fragment: int | None = None
+    ) -> None:
         pass
 
     def counter_totals(self) -> dict[str, int | float]:
@@ -173,13 +193,30 @@ class Recorder:
         tracing slows allocation-heavy code and resets the interpreter's
         global peak marker, which would corrupt concurrent external
         measurements (e.g. the memory-ablation benchmarks).
+    registry:
+        The :class:`~repro.obs.metrics.MetricRegistry` receiving
+        histogram observations (:meth:`observe`).  A private registry is
+        created when omitted; pass a shared one to aggregate several
+        recorders (the service does this per process, not per request).
+    trace_id:
+        Fixed correlation ID stamped on every trace this recorder
+        completes (the service passes the request's ``X-Trace-Id``).
+        When ``None`` each completed trace gets a fresh generated ID.
     """
 
     enabled: bool = True
 
-    def __init__(self, sinks: Any = (), measure_memory: bool = False) -> None:
+    def __init__(
+        self,
+        sinks: Any = (),
+        measure_memory: bool = False,
+        registry: MetricRegistry | None = None,
+        trace_id: str | None = None,
+    ) -> None:
         self._sinks = list(sinks)
         self.measure_memory = bool(measure_memory)
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._trace_id = trace_id
         self._stack: list[Span] = []
         self._origin = 0.0
         #: Completed top-level spans, oldest first.
@@ -204,6 +241,17 @@ class Recorder:
         if self._stack:
             self._stack[-1].add(counter, value)
 
+    def observe(self, name: str, value: int | float) -> None:
+        """Record one observation into the registry histogram ``name``.
+
+        Histograms complement span counters with *distributions*: the
+        per-block kernel timings, published segment sizes, request
+        latencies.  Fragments recorded by worker-local recorders travel
+        back inside :meth:`export_fragment` payloads and merge
+        deterministically in :meth:`graft`.
+        """
+        self.registry.observe(name, value)
+
     def _open(self, span: Span) -> float:
         now = time.perf_counter()
         if not self._stack:
@@ -219,25 +267,59 @@ class Recorder:
         popped = self._stack.pop()
         assert popped is span, "span close out of order"
         if not self._stack:
-            self.traces.append(span)
-            for sink in self._sinks:
-                sink.emit(span)
+            self._finish_trace(span)
 
-    def graft(self, payload: dict[str, Any]) -> Span:
+    def _finish_trace(self, root: Span) -> None:
+        if root.trace_id is None:
+            root.trace_id = self._trace_id or new_trace_id()
+        self.traces.append(root)
+        for sink in self._sinks:
+            sink.emit(root)
+
+    def export_fragment(self) -> dict[str, Any]:
+        """Serialise the latest completed trace plus metric fragments.
+
+        The payload a worker process ships back to the parent: the span
+        tree (:meth:`Span.to_dict`) with the worker-local registry's
+        histograms/counters embedded under ``"metrics"``.  The parent's
+        :meth:`graft` reattaches the tree and merges the metrics, so a
+        parallel run's merged registry equals the serial run's.
+        """
+        payload = self.traces[-1].to_dict()
+        payload.pop("trace_id", None)  # fragments join the parent's trace
+        fragment = self.registry.to_fragment()
+        if fragment["counters"] or fragment["histograms"]:
+            payload[FRAGMENT_METRICS_KEY] = fragment
+        return payload
+
+    def graft(
+        self, payload: dict[str, Any], fragment: int | None = None
+    ) -> Span:
         """Attach a serialised trace fragment under the current span.
 
         Worker processes return their local trace as a plain dict
-        (:meth:`Span.to_dict`); grafting in partition order keeps the
-        merged tree deterministic.  Outside any open span the fragment
-        becomes a trace of its own.
+        (:meth:`export_fragment`); grafting in partition order keeps the
+        merged tree deterministic.  A registry fragment embedded in the
+        payload is merged into this recorder's registry.  ``fragment``
+        (the partition index) is stamped on the grafted root's
+        attributes so stitched trees record where each piece came from.
+        Outside any open span the fragment becomes a trace of its own.
         """
+        metrics = payload.get(FRAGMENT_METRICS_KEY)
+        if metrics is not None:
+            payload = {
+                key: value
+                for key, value in payload.items()
+                if key != FRAGMENT_METRICS_KEY
+            }
+            self.registry.merge_fragment(metrics)
         span = Span.from_dict(payload)
+        if fragment is not None:
+            span.attributes.setdefault("fragment", fragment)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
-            self.traces.append(span)
-            for sink in self._sinks:
-                sink.emit(span)
+            self._finish_trace(span)
         return span
 
     # ------------------------------------------------------------------

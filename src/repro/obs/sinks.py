@@ -33,7 +33,12 @@ __all__ = [
 
 #: Version stamped on every ``trace_start`` event; bump on breaking
 #: changes to the JSONL layout.
-TRACE_SCHEMA_VERSION = 1
+#:
+#: Version 2 adds end-to-end correlation: ``trace_id`` on every event,
+#: plus ``span_id`` / ``parent_id`` on span lines so a flat file
+#: reconstructs into the exact span tree (including fragments grafted
+#: from worker processes) without relying on line order.
+TRACE_SCHEMA_VERSION = 2
 
 
 class Sink(Protocol):
@@ -112,19 +117,32 @@ class JsonlTraceSink:
     def emit(self, root: Span) -> None:
         index = self._trace_index
         self._trace_index += 1
+        # Deterministic span IDs: the pre-order position within the
+        # trace.  Worker fragments are grafted into the tree before a
+        # trace completes, so numbering the merged tree here gives every
+        # span — local or worker-recorded — a resolvable parent link.
+        trace_id = root.trace_id or f"trace-{index}"
         self._write(
             {
                 "event": "trace_start",
                 "schema": TRACE_SCHEMA_VERSION,
                 "trace": index,
+                "trace_id": trace_id,
                 "name": root.name,
             }
         )
-        for path, depth, span in root.walk():
+        parent_of_depth: list[int] = []
+        for span_id, (path, depth, span) in enumerate(root.walk()):
+            parent_id = parent_of_depth[depth - 1] if depth > 0 else None
+            del parent_of_depth[depth:]
+            parent_of_depth.append(span_id)
             self._write(
                 {
                     "event": "span",
                     "trace": index,
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "parent_id": parent_id,
                     "path": path,
                     "name": span.name,
                     "depth": depth,
@@ -138,6 +156,7 @@ class JsonlTraceSink:
             {
                 "event": "trace_end",
                 "trace": index,
+                "trace_id": trace_id,
                 "spans": span_count(root),
                 "counter_totals": counter_totals(root),
             }

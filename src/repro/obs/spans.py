@@ -40,7 +40,10 @@ class Span:
     :meth:`add` and :meth:`annotate`.
     """
 
-    __slots__ = ("name", "start", "duration", "attributes", "counters", "children")
+    __slots__ = (
+        "name", "start", "duration", "attributes", "counters", "children",
+        "trace_id",
+    )
 
     def __init__(
         self,
@@ -50,6 +53,7 @@ class Span:
         attributes: dict[str, Any] | None = None,
         counters: dict[str, int | float] | None = None,
         children: list["Span"] | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.name = name
         self.start = start
@@ -59,6 +63,10 @@ class Span:
             counters if counters is not None else {}
         )
         self.children: list[Span] = children if children is not None else []
+        #: Correlation ID of the trace this span roots (set by the
+        #: recorder on every completed top-level span; ``None`` on
+        #: non-root spans — children inherit it implicitly via the tree).
+        self.trace_id = trace_id
 
     # ------------------------------------------------------------------
     # Mutation (while recording)
@@ -90,7 +98,7 @@ class Span:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict representation (JSON-able; see docs/OBSERVABILITY.md)."""
-        return {
+        payload = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
@@ -98,6 +106,9 @@ class Span:
             "counters": dict(self.counters),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "Span":
@@ -108,6 +119,7 @@ class Span:
             attributes=dict(payload.get("attributes", {})),
             counters=dict(payload.get("counters", {})),
             children=[cls.from_dict(c) for c in payload.get("children", [])],
+            trace_id=payload.get("trace_id"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

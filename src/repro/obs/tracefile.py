@@ -4,10 +4,23 @@ The JSONL layout written by :class:`repro.obs.JsonlTraceSink` is a
 stable interface (docs/OBSERVABILITY.md); CI runs this validator against
 a real ``repro analyze --trace-out`` run so schema drift fails loudly.
 
+Two schema versions are accepted, dispatched per trace on the
+``trace_start`` line's ``schema`` field:
+
+* **v1** — the original layout: ``path``/``depth`` pre-order spans.
+* **v2** — adds correlation IDs: ``trace_id`` on every event, and
+  ``span_id`` / ``parent_id`` on span lines.  v2 checks everything v1
+  checks *plus* ID integrity: span IDs are the unique pre-order
+  positions, every ``parent_id`` resolves to an earlier span of the
+  same trace at the parent depth, the root (and only the root) has a
+  null parent, and ``trace_id`` is consistent across the trace — i.e.
+  no dangling spans.
+
 The checks are structural *and* semantic: event ordering per trace,
 required fields and types per event kind, pre-order consistency of
 ``path``/``depth``, and that each ``trace_end``'s ``counter_totals`` and
-``spans`` equal what its ``span`` lines actually add up to.
+``spans`` equal what its ``span`` lines actually add up to.  Every
+failure carries the offending line number.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ from repro.exceptions import ReproError
 __all__ = ["TraceSchemaError", "validate_trace_lines", "validate_trace_file"]
 
 _NUMBER = (int, float)
+_SUPPORTED_SCHEMAS = (1, 2)
 
 
 class TraceSchemaError(ReproError):
@@ -51,21 +65,37 @@ def _check_counters(mapping: Any, line_no: int, field: str) -> dict[str, Any]:
     return mapping
 
 
+class _TraceState:
+    """Per-trace accumulator reset on every ``trace_start``."""
+
+    __slots__ = (
+        "index", "schema", "trace_id", "totals", "span_lines", "last_depth",
+        "seen_span", "span_depths",
+    )
+
+    def __init__(self, index: int, schema: int, trace_id: str | None) -> None:
+        self.index = index
+        self.schema = schema
+        self.trace_id = trace_id
+        self.totals: dict[str, float] = {}
+        self.span_lines = 0
+        self.last_depth = -1
+        self.seen_span = False
+        #: ``span_id -> depth`` for every span seen so far (v2 only);
+        #: parent links must resolve into this map.
+        self.span_depths: dict[int, int] = {}
+
+
 def validate_trace_lines(lines: Iterable[str]) -> dict[str, int]:
     """Validate an iterable of JSONL lines; return summary statistics.
 
     Returns ``{"traces": T, "spans": S}`` on success and raises
-    :class:`TraceSchemaError` (with a line number) on the first
-    violation.
+    :class:`TraceSchemaError` (with a line number and a specific
+    message) on the first violation.
     """
-    open_trace: int | None = None
-    seen_span_for_trace = False
-    expected_depth_ok = False
-    totals: dict[str, float] = {}
-    span_lines = 0
+    state: _TraceState | None = None
     traces = 0
     total_spans = 0
-    last_depth = -1
 
     for line_no, raw in enumerate(lines, start=1):
         raw = raw.strip()
@@ -80,30 +110,32 @@ def validate_trace_lines(lines: Iterable[str]) -> dict[str, int]:
         kind = _require(event, line_no, "event", str)
 
         if kind == "trace_start":
-            if open_trace is not None:
+            if state is not None:
                 _fail(line_no, "trace_start while a trace is open")
             schema = _require(event, line_no, "schema", int)
-            if schema != 1:
+            if schema not in _SUPPORTED_SCHEMAS:
                 _fail(line_no, f"unsupported schema version {schema}")
-            open_trace = _require(event, line_no, "trace", int)
+            index = _require(event, line_no, "trace", int)
             _require(event, line_no, "name", str)
-            seen_span_for_trace = False
-            totals = {}
-            span_lines = 0
-            last_depth = -1
+            trace_id = None
+            if schema >= 2:
+                trace_id = _require(event, line_no, "trace_id", str)
+                if not trace_id:
+                    _fail(line_no, "trace_id must be a non-empty string")
+            state = _TraceState(index, schema, trace_id)
         elif kind == "span":
-            if open_trace is None:
+            if state is None:
                 _fail(line_no, "span outside any trace")
-            if _require(event, line_no, "trace", int) != open_trace:
+            if _require(event, line_no, "trace", int) != state.index:
                 _fail(line_no, "span trace id does not match open trace")
             name = _require(event, line_no, "name", str)
             path = _require(event, line_no, "path", str)
             depth = _require(event, line_no, "depth", int)
             if depth < 0:
                 _fail(line_no, "depth must be >= 0")
-            if not seen_span_for_trace and depth != 0:
+            if not state.seen_span and depth != 0:
                 _fail(line_no, "first span of a trace must have depth 0")
-            if seen_span_for_trace and depth > last_depth + 1:
+            if state.seen_span and depth > state.last_depth + 1:
                 _fail(line_no, "pre-order depth may increase by at most 1")
             segments = path.split("/")
             if len(segments) != depth + 1 or segments[-1] != name:
@@ -117,38 +149,91 @@ def validate_trace_lines(lines: Iterable[str]) -> dict[str, int]:
             for key, value in _check_counters(
                 event.get("counters"), line_no, "counters"
             ).items():
-                totals[key] = totals.get(key, 0) + value
-            seen_span_for_trace = True
-            last_depth = depth
-            span_lines += 1
+                state.totals[key] = state.totals.get(key, 0) + value
+            if state.schema >= 2:
+                _check_span_ids(event, line_no, state, depth)
+            state.seen_span = True
+            state.last_depth = depth
+            state.span_lines += 1
         elif kind == "trace_end":
-            if open_trace is None:
+            if state is None:
                 _fail(line_no, "trace_end without trace_start")
-            if _require(event, line_no, "trace", int) != open_trace:
+            if _require(event, line_no, "trace", int) != state.index:
                 _fail(line_no, "trace_end trace id does not match open trace")
+            if state.schema >= 2:
+                trace_id = _require(event, line_no, "trace_id", str)
+                if trace_id != state.trace_id:
+                    _fail(
+                        line_no,
+                        f"trace_end trace_id {trace_id!r} does not match "
+                        f"trace_start trace_id {state.trace_id!r}",
+                    )
             spans = _require(event, line_no, "spans", int)
-            if spans != span_lines:
+            if spans != state.span_lines:
                 _fail(
                     line_no,
-                    f"trace_end reports {spans} spans but {span_lines} "
+                    f"trace_end reports {spans} spans but {state.span_lines} "
                     "span lines were seen",
                 )
             declared = _check_counters(
                 event.get("counter_totals"), line_no, "counter_totals"
             )
-            if dict(declared) != dict(totals):
+            if dict(declared) != dict(state.totals):
                 _fail(line_no, "counter_totals do not match summed span counters")
             traces += 1
-            total_spans += span_lines
-            open_trace = None
+            total_spans += state.span_lines
+            state = None
         else:
             _fail(line_no, f"unknown event kind {kind!r}")
 
-    if open_trace is not None:
+    if state is not None:
         raise TraceSchemaError("file ended with an unterminated trace")
     if traces == 0:
         raise TraceSchemaError("file contains no traces")
     return {"traces": traces, "spans": total_spans}
+
+
+def _check_span_ids(
+    event: dict[str, Any], line_no: int, state: _TraceState, depth: int
+) -> None:
+    """Schema-v2 ID integrity for one span line."""
+    trace_id = _require(event, line_no, "trace_id", str)
+    if trace_id != state.trace_id:
+        _fail(
+            line_no,
+            f"span trace_id {trace_id!r} does not match trace_start "
+            f"trace_id {state.trace_id!r}",
+        )
+    span_id = _require(event, line_no, "span_id", int)
+    if span_id != state.span_lines:
+        _fail(
+            line_no,
+            f"span_id {span_id} is not the pre-order position "
+            f"{state.span_lines}",
+        )
+    if "parent_id" not in event:
+        _fail(line_no, "missing field 'parent_id'")
+    parent_id = event["parent_id"]
+    if depth == 0:
+        if parent_id is not None:
+            _fail(line_no, "root span must have parent_id null")
+    else:
+        if not isinstance(parent_id, int) or isinstance(parent_id, bool):
+            _fail(line_no, "parent_id must be an integer for non-root spans")
+        parent_depth = state.span_depths.get(parent_id)
+        if parent_depth is None:
+            _fail(
+                line_no,
+                f"dangling span: parent_id {parent_id} does not resolve "
+                "to an earlier span of this trace",
+            )
+        if parent_depth != depth - 1:
+            _fail(
+                line_no,
+                f"parent_id {parent_id} has depth {parent_depth}, "
+                f"expected {depth - 1}",
+            )
+    state.span_depths[span_id] = depth
 
 
 def validate_trace_file(path: str | Path) -> dict[str, int]:

@@ -107,49 +107,59 @@ class ParallelExecutor:
         recorder.  Execution facts (worker count, item count, fallback
         reason) are recorded as span *attributes*, never counters, so
         counter totals stay identical between serial and parallel runs
-        of the same work.
+        of the same work.  The span's duration additionally feeds the
+        ``parallel.map_seconds`` histogram.
         """
         tasks: Sequence[Any] = list(items)
         self.last_fallback_reason = None
-        with current_recorder().span("parallel.map") as span:
-            span.annotate(n_workers=self.n_workers, n_items=len(tasks))
-            if self.n_workers <= 1 or len(tasks) <= 1:
-                span.annotate(mode="serial")
-                return self._map_serial(fn, tasks)
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.n_workers, len(tasks)),
-                    initializer=self._initializer,
-                    initargs=self._initargs,
-                ) as pool:
-                    results = list(pool.map(fn, tasks, chunksize=self._chunksize))
-                span.annotate(mode="pool")
-                return results
-            except (
-                BrokenProcessPool,
-                pickle.PicklingError,
-                AttributeError,  # unpicklable closures/lambdas raise this
-                OSError,  # no fork / no semaphores in restricted sandboxes
-                PermissionError,
-            ) as error:
-                # Task functions are required to be pure, so re-running the
-                # whole batch serially is safe and yields identical results.
-                self.last_fallback_reason = f"{type(error).__name__}: {error}"
-                # Silent degradation hides capacity problems: surface the
-                # fallback as a log line and a counter (visible in
-                # Report.metrics and the service /metricz endpoint), not
-                # just a span attribute.
-                logger.warning(
-                    "process pool unavailable (%s); running %d task(s) "
-                    "serially in-process",
-                    self.last_fallback_reason,
-                    len(tasks),
-                )
-                span.annotate(
-                    mode="serial-fallback", fallback=self.last_fallback_reason
-                )
-                span.add("parallel.fallbacks", 1)
-                return self._map_serial(fn, tasks)
+        recorder = current_recorder()
+        try:
+            with recorder.span("parallel.map") as span:
+                return self._map(fn, tasks, span)
+        finally:
+            recorder.observe("parallel.map_seconds", span.duration)
+
+    def _map(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], span: Any
+    ) -> list[Any]:
+        span.annotate(n_workers=self.n_workers, n_items=len(tasks))
+        if self.n_workers <= 1 or len(tasks) <= 1:
+            span.annotate(mode="serial")
+            return self._map_serial(fn, tasks)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(tasks)),
+                initializer=self._initializer,
+                initargs=self._initargs,
+            ) as pool:
+                results = list(pool.map(fn, tasks, chunksize=self._chunksize))
+            span.annotate(mode="pool")
+            return results
+        except (
+            BrokenProcessPool,
+            pickle.PicklingError,
+            AttributeError,  # unpicklable closures/lambdas raise this
+            OSError,  # no fork / no semaphores in restricted sandboxes
+            PermissionError,
+        ) as error:
+            # Task functions are required to be pure, so re-running the
+            # whole batch serially is safe and yields identical results.
+            self.last_fallback_reason = f"{type(error).__name__}: {error}"
+            # Silent degradation hides capacity problems: surface the
+            # fallback as a log line and a counter (visible in
+            # Report.metrics and the service /metricz endpoint), not
+            # just a span attribute.
+            logger.warning(
+                "process pool unavailable (%s); running %d task(s) "
+                "serially in-process",
+                self.last_fallback_reason,
+                len(tasks),
+            )
+            span.annotate(
+                mode="serial-fallback", fallback=self.last_fallback_reason
+            )
+            span.add("parallel.fallbacks", 1)
+            return self._map_serial(fn, tasks)
 
     def _map_serial(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]

@@ -104,35 +104,44 @@ class WorkerPool:
         a ``parallel.fallbacks`` counter) when the pool cannot be used.
         Reuse of an already-warm executor is counted as
         ``parallel.pool_reuses`` so the saved spawns are observable.
+        The span's duration feeds the ``parallel.map_seconds`` histogram.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         tasks: Sequence[Any] = list(items)
         recorder = current_recorder()
-        with recorder.span("parallel.map") as span:
-            span.annotate(n_workers=self.n_workers, n_items=len(tasks))
-            if self.n_workers <= 1 or len(tasks) <= 1:
-                span.annotate(mode="serial")
-                return [fn(task) for task in tasks]
-            reused = self._executor is not None
-            try:
-                executor = self._ensure_executor()
-                results = list(executor.map(fn, tasks))
-            except _FALLBACK_ERRORS as error:
-                reason = f"{type(error).__name__}: {error}"
-                logger.warning(
-                    "worker pool unavailable (%s); running %d task(s) "
-                    "serially in-process", reason, len(tasks),
-                )
-                span.annotate(mode="serial-fallback", fallback=reason)
-                span.add("parallel.fallbacks", 1)
-                self._discard_executor()
-                return [fn(task) for task in tasks]
-            span.annotate(mode="pool", pool="warm" if reused else "cold")
-            if reused:
-                span.add("parallel.pool_reuses", 1)
-            self._maps += 1
-            return results
+        try:
+            with recorder.span("parallel.map") as span:
+                return self._map(fn, tasks, span)
+        finally:
+            recorder.observe("parallel.map_seconds", span.duration)
+
+    def _map(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any], span: Any
+    ) -> list[Any]:
+        span.annotate(n_workers=self.n_workers, n_items=len(tasks))
+        if self.n_workers <= 1 or len(tasks) <= 1:
+            span.annotate(mode="serial")
+            return [fn(task) for task in tasks]
+        reused = self._executor is not None
+        try:
+            executor = self._ensure_executor()
+            results = list(executor.map(fn, tasks))
+        except _FALLBACK_ERRORS as error:
+            reason = f"{type(error).__name__}: {error}"
+            logger.warning(
+                "worker pool unavailable (%s); running %d task(s) "
+                "serially in-process", reason, len(tasks),
+            )
+            span.annotate(mode="serial-fallback", fallback=reason)
+            span.add("parallel.fallbacks", 1)
+            self._discard_executor()
+            return [fn(task) for task in tasks]
+        span.annotate(mode="pool", pool="warm" if reused else "cold")
+        if reused:
+            span.add("parallel.pool_reuses", 1)
+        self._maps += 1
+        return results
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:

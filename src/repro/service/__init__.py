@@ -46,17 +46,21 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import RefreshScheduler
 from repro.service.server import AnalysisService, ServiceConfig, ServiceServer
+from repro.service.slo import SloTracker
 from repro.service.store import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SnapshotMeta,
     SnapshotStore,
 )
+from repro.service.tracez import SlowTraceRing
 
 __all__ = [
     "AnalysisService",
     "ServiceConfig",
     "ServiceServer",
+    "SloTracker",
+    "SlowTraceRing",
     "ReportCache",
     "RefreshScheduler",
     "SnapshotStore",

@@ -31,8 +31,15 @@ Endpoints::
     GET  /v1/counts          live inefficiency counts (incremental)
     POST /v1/analyze         full report (cached + coalesced)
     GET  /v1/reports/latest  scheduler's latest report + diff
-    GET  /healthz            liveness (503 while draining)
-    GET  /metricz            counters, latencies, cache/queue stats
+    GET  /healthz            liveness (503 while draining or SLO-degraded)
+    GET  /metricz            counters, latency histograms, cache/queue/SLO
+                             stats (?format=prometheus for text exposition)
+    GET  /tracez             slowest recent request traces (?k=N)
+
+Every request is correlated end to end: the ``X-Trace-Id`` request
+header (generated when absent) becomes the trace ID of the request's
+``service.request`` trace and is echoed back as a response header, so a
+client can join its own logs to the service's exported traces.
 """
 
 from __future__ import annotations
@@ -44,16 +51,18 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
-from urllib.parse import urlsplit
+from urllib.parse import parse_qsl, urlsplit
 
 from repro.core.engine import AnalysisConfig, analyze, effective_scan_workers
 from repro.core.incremental import IncrementalAuditor
 from repro.core.report import Report
 from repro.core.state import RbacState
 from repro.exceptions import ConfigurationError, ReproError
-from repro.obs import Recorder, use_recorder
+from repro.obs import MetricRegistry, Recorder, new_trace_id, use_recorder
 from repro.parallel import WorkerPool, use_pool
 from repro.service.cache import ReportCache
+from repro.service.slo import SloTracker
+from repro.service.tracez import SlowTraceRing
 from repro.service.protocol import (
     DeadlineExceeded,
     ProtocolError,
@@ -98,6 +107,16 @@ class ServiceConfig:
         the scheduler its diff baseline.
     retry_after_seconds:
         Value of the ``Retry-After`` header on 429 responses.
+    slo_target_seconds:
+        Per-request latency target for rolling-window SLO tracking.
+        ``None`` (the default) disables tracking entirely — ``/healthz``
+        then reports only liveness/drain state.  When set, an endpoint
+        whose recent-request window breaches the error budget degrades
+        ``/healthz`` to 503 ``{"status": "degraded"}``.
+    slo_window / slo_budget_fraction / slo_min_samples:
+        SLO window parameters (see :class:`repro.service.slo.SloTracker`).
+    tracez_capacity:
+        How many recent request traces ``GET /tracez`` retains.
     analysis:
         Default :class:`AnalysisConfig` for ``POST /v1/analyze`` and the
         scheduler; its ``similarity_threshold`` also parameterises the
@@ -113,6 +132,11 @@ class ServiceConfig:
     snapshot_path: str | Path | None = None
     warm_start: bool = True
     retry_after_seconds: int = 1
+    slo_target_seconds: float | None = None
+    slo_window: int = 100
+    slo_budget_fraction: float = 0.1
+    slo_min_samples: int = 10
+    tracez_capacity: int = 64
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
 
     def __post_init__(self) -> None:
@@ -128,6 +152,15 @@ class ServiceConfig:
             raise ConfigurationError(
                 "retry_after_seconds must be >= 0 "
                 f"(got {self.retry_after_seconds})"
+            )
+        if self.slo_target_seconds is not None and self.slo_target_seconds <= 0:
+            raise ConfigurationError(
+                "slo_target_seconds must be > 0 when set "
+                f"(got {self.slo_target_seconds})"
+            )
+        if self.tracez_capacity < 1:
+            raise ConfigurationError(
+                f"tracez_capacity must be >= 1 (got {self.tracez_capacity})"
             )
 
 
@@ -167,6 +200,23 @@ class AnalysisService:
         self._in_flight = 0
         self._rejected = 0
         self._started_monotonic = time.monotonic()
+        #: Process-wide metric registry: per-endpoint request-latency
+        #: histograms (labelled ``{"endpoint": ...}``) plus the engine
+        #: histograms merged in from every analysis this service runs.
+        #: The registry is internally locked, so request threads record
+        #: into it without taking ``_obs_lock``.
+        self._registry = MetricRegistry()
+        self._slo = (
+            SloTracker(
+                self.config.slo_target_seconds,
+                window=self.config.slo_window,
+                budget_fraction=self.config.slo_budget_fraction,
+                min_samples=self.config.slo_min_samples,
+            )
+            if self.config.slo_target_seconds is not None
+            else None
+        )
+        self._tracez = SlowTraceRing(self.config.tracez_capacity)
         self._scheduler = RefreshScheduler(
             self._refresh_runner,
             refresh_mutations=self.config.refresh_mutations,
@@ -258,18 +308,29 @@ class AnalysisService:
         path: str,
         body: bytes = b"",
         deadline_header: str | None = None,
-    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        trace_id_header: str | None = None,
+    ) -> tuple[int, dict[str, Any] | str, dict[str, str]]:
         """Serve one request; returns ``(status, payload, headers)``.
 
         Every request is traced under a ``service.request`` span (shipped
-        to the service's sinks) and aggregated into the per-endpoint
-        latency stats that ``GET /metricz`` reports.
+        to the service's sinks, retained for ``GET /tracez``) and
+        aggregated into the per-endpoint latency histograms that ``GET
+        /metricz`` reports.  The request's trace ID — the ``X-Trace-Id``
+        header when the client sent one, freshly generated otherwise —
+        is stamped on the trace and echoed in the response headers.
+
+        ``payload`` is normally a JSON-able dict; ``GET
+        /metricz?format=prometheus`` returns a plain-text str instead
+        (the HTTP layer switches Content-Type accordingly).
         """
         started = time.monotonic()
-        route = urlsplit(path).path
+        parts = urlsplit(path)
+        route, query = parts.path, parts.query
         endpoint = f"{method} {route}"
-        recorder = Recorder()
+        trace_id = (trace_id_header or "").strip() or new_trace_id()
+        recorder = Recorder(trace_id=trace_id)
         headers: dict[str, str] = {}
+        payload: dict[str, Any] | str
         try:
             with use_recorder(recorder):
                 with recorder.span(
@@ -280,7 +341,7 @@ class AnalysisService:
                             deadline_header
                         )
                         status, payload, headers = self._route(
-                            method, route, body, deadline_at
+                            method, route, query, body, deadline_at
                         )
                     except ProtocolError as error:
                         status, payload = 400, {"error": str(error)}
@@ -302,6 +363,7 @@ class AnalysisService:
                 "error": f"internal error: {type(error).__name__}: {error}"
             }
             headers = {}
+        headers["X-Trace-Id"] = trace_id
         self._observe(
             endpoint, status, time.monotonic() - started, recorder
         )
@@ -311,8 +373,9 @@ class AnalysisService:
     # Routing
     # ------------------------------------------------------------------
     def _route(
-        self, method: str, route: str, body: bytes, deadline_at: float
-    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        self, method: str, route: str, query: str, body: bytes,
+        deadline_at: float,
+    ) -> tuple[int, dict[str, Any] | str, dict[str, str]]:
         if route == "/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -320,7 +383,11 @@ class AnalysisService:
         if route == "/metricz":
             if method != "GET":
                 return self._method_not_allowed("GET")
-            return self._handle_metricz()
+            return self._handle_metricz(query)
+        if route == "/tracez":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._handle_tracez(query)
         if route.startswith("/v1/"):
             return self._route_v1(method, route, body, deadline_at)
         return 404, {"error": f"no such endpoint: {route}"}, {}
@@ -378,6 +445,18 @@ class AnalysisService:
     def _handle_healthz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
         if self._draining.is_set():
             return 503, {"status": "draining"}, {"Connection": "close"}
+        if self._slo is not None:
+            degraded = self._slo.degraded_endpoints()
+            if degraded:
+                return (
+                    503,
+                    {
+                        "status": "degraded",
+                        "slo_breached_endpoints": degraded,
+                        "slo_target_seconds": self._slo.target_seconds,
+                    },
+                    {},
+                )
         with self._state_lock:
             state = self._auditor.state
             dataset = {
@@ -398,7 +477,18 @@ class AnalysisService:
             {},
         )
 
-    def _handle_metricz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+    def _handle_metricz(
+        self, query: str = ""
+    ) -> tuple[int, dict[str, Any] | str, dict[str, str]]:
+        params = dict(parse_qsl(query))
+        exposition = params.get("format", "json")
+        if exposition not in ("json", "prometheus"):
+            return (
+                400,
+                {"error": f"unknown format {exposition!r} "
+                          "(use json or prometheus)"},
+                {},
+            )
         with self._obs_lock:
             counters = dict(sorted(self._counters.items()))
             endpoints = {
@@ -406,23 +496,56 @@ class AnalysisService:
             }
             in_flight = self._in_flight
             rejected = self._rejected
-        return (
-            200,
-            {
-                "schema": 1,
-                "uptime_seconds": time.monotonic() - self._started_monotonic,
-                "counters": counters,
-                "endpoints": endpoints,
-                "cache": self._cache.stats(),
-                "queue": {
-                    "limit": self.config.queue_limit,
-                    "in_flight": in_flight,
-                    "rejected": rejected,
+        uptime = time.monotonic() - self._started_monotonic
+        if exposition == "prometheus":
+            text = self._registry.prometheus_text(
+                extra_counters=counters,
+                extra_gauges={
+                    "service.uptime_seconds": uptime,
+                    "service.in_flight": in_flight,
+                    "service.rejected": rejected,
                 },
-                "scheduler": self._scheduler.stats(),
+            )
+            return 200, text, {}
+        # Per-endpoint latency quantiles come from the labelled
+        # request_seconds histograms; the legacy count/error/total/max
+        # aggregates stay for continuity.
+        for name, stats in endpoints.items():
+            summary = self._registry.histogram(
+                "service.request_seconds", {"endpoint": name}
+            ).summary()
+            stats["p50_seconds"] = summary["p50"]
+            stats["p90_seconds"] = summary["p90"]
+            stats["p99_seconds"] = summary["p99"]
+        payload: dict[str, Any] = {
+            "schema": 2,
+            "uptime_seconds": uptime,
+            "counters": counters,
+            "endpoints": endpoints,
+            "histograms": self._registry.snapshot()["histograms"],
+            "cache": self._cache.stats(),
+            "queue": {
+                "limit": self.config.queue_limit,
+                "in_flight": in_flight,
+                "rejected": rejected,
             },
-            {},
-        )
+            "scheduler": self._scheduler.stats(),
+        }
+        if self._slo is not None:
+            payload["slo"] = self._slo.status()
+        return 200, payload, {}
+
+    def _handle_tracez(
+        self, query: str = ""
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        params = dict(parse_qsl(query))
+        try:
+            k = int(params.get("k", "10"))
+        except ValueError:
+            return 400, {"error": f"k must be an integer (got {params['k']!r})"}, {}
+        if k < 1:
+            return 400, {"error": f"k must be >= 1 (got {k})"}, {}
+        return 200, self._tracez.slowest(k), {}
 
     def _handle_mutations(
         self, body: bytes, deadline_at: float
@@ -514,6 +637,12 @@ class AnalysisService:
         else:
             report = analyze(snapshot, config)
         self._merge_counters(report.metrics.get("counters", {}))
+        # Engine histograms (per-block kernel timings, detector
+        # durations, shm publish sizes) accumulate across every analysis
+        # this process serves; /metricz exposes the merged distributions.
+        self._registry.merge_histogram_dicts(
+            report.metrics.get("histograms", {})
+        )
         self._bump("service.analyses", 1)
         return report, report.to_dict()
 
@@ -567,6 +696,15 @@ class AnalysisService:
         self, endpoint: str, status: int, seconds: float, recorder: Recorder
     ) -> None:
         """Fold one request into the service metrics and emit its trace."""
+        # The registry and SLO tracker have their own locks; only the
+        # plain-dict aggregates (and sink emission) need _obs_lock.
+        self._registry.observe(
+            "service.request_seconds", seconds, labels={"endpoint": endpoint}
+        )
+        if self._slo is not None:
+            self._slo.observe(endpoint, seconds)
+        for root in recorder.traces:
+            self._tracez.record(root, endpoint, status)
         with self._obs_lock:
             stats = self._endpoints.setdefault(
                 endpoint,
@@ -626,14 +764,21 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             self.path,
             body,
             deadline_header=self.headers.get("X-Deadline"),
+            trace_id_header=self.headers.get("X-Trace-Id"),
         )
-        data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        if isinstance(payload, str):
+            # Prometheus text exposition (and any future text payloads).
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+            content_type = "application/json"
         if self.service.is_draining:
             headers.setdefault("Connection", "close")
             self.close_connection = True
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             for name, value in headers.items():
                 self.send_header(name, value)

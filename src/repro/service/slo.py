@@ -1,0 +1,118 @@
+"""Rolling-window SLO tracking for the analysis service.
+
+One :class:`SloTracker` watches every endpoint's request latencies
+against a single latency target and error budget: within a sliding
+window of the most recent requests per endpoint, at most
+``budget_fraction`` of them may exceed ``target_seconds``.  An endpoint
+whose window breaches the budget (once at least ``min_samples`` are in
+the window) is *degraded*, and the service degrades ``/healthz``
+accordingly — load balancers notice latency regressions, not only
+crashes.
+
+Tracking is opt-in (the service leaves it off unless a target is
+configured) and self-contained: plain deques under one lock, no
+timers.  Observations carry no timestamps — the window is
+count-based, sized so that "recent" means the last N requests rather
+than a wall-clock horizon, which keeps the tracker deterministic under
+test and free of clock reads on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Count-based sliding-window latency SLO per endpoint.
+
+    Parameters
+    ----------
+    target_seconds:
+        The per-request latency target.
+    window:
+        How many recent requests per endpoint the verdict considers.
+    budget_fraction:
+        Tolerated fraction of over-target requests within the window
+        (``0.1`` = 10% may be slow before the endpoint degrades).
+    min_samples:
+        Verdicts are withheld until an endpoint's window holds at least
+        this many observations, so one slow cold-start request cannot
+        degrade a freshly started service.
+    """
+
+    def __init__(
+        self,
+        target_seconds: float,
+        window: int = 100,
+        budget_fraction: float = 0.1,
+        min_samples: int = 10,
+    ) -> None:
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 <= budget_fraction < 1.0:
+            raise ValueError("budget_fraction must be in [0, 1)")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.target_seconds = float(target_seconds)
+        self.window = int(window)
+        self.budget_fraction = float(budget_fraction)
+        self.min_samples = int(min_samples)
+        self._lock = threading.Lock()
+        #: endpoint -> deque of booleans (True = over target), newest last.
+        self._windows: dict[str, deque[bool]] = {}
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        """Record one request latency for ``endpoint``."""
+        over = seconds > self.target_seconds
+        with self._lock:
+            window = self._windows.get(endpoint)
+            if window is None:
+                window = deque(maxlen=self.window)
+                self._windows[endpoint] = window
+            window.append(over)
+
+    def _verdict(self, window: deque[bool]) -> tuple[bool, int]:
+        breaches = sum(window)
+        degraded = (
+            len(window) >= self.min_samples
+            and breaches > self.budget_fraction * len(window)
+        )
+        return degraded, breaches
+
+    def degraded_endpoints(self) -> list[str]:
+        """Endpoints currently over budget (sorted)."""
+        with self._lock:
+            return sorted(
+                endpoint
+                for endpoint, window in self._windows.items()
+                if self._verdict(window)[0]
+            )
+
+    def status(self) -> dict[str, Any]:
+        """Full per-endpoint SLO state for ``/metricz``."""
+        with self._lock:
+            endpoints = {}
+            for endpoint in sorted(self._windows):
+                window = self._windows[endpoint]
+                degraded, breaches = self._verdict(window)
+                endpoints[endpoint] = {
+                    "samples": len(window),
+                    "breaches": breaches,
+                    "breach_fraction": (
+                        breaches / len(window) if window else 0.0
+                    ),
+                    "degraded": degraded,
+                }
+        return {
+            "target_seconds": self.target_seconds,
+            "window": self.window,
+            "budget_fraction": self.budget_fraction,
+            "min_samples": self.min_samples,
+            "endpoints": endpoints,
+        }

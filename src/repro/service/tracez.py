@@ -1,0 +1,70 @@
+"""Slow-trace retention for the analysis service's ``/tracez`` endpoint.
+
+A :class:`SlowTraceRing` keeps the most recent completed request traces
+in a bounded ring and answers "which recent requests were slowest?"
+without unbounded memory: the ring holds at most ``capacity`` traces
+(oldest evicted first) and ``/tracez`` reports the top-K by root
+duration among what is retained.
+
+Stored entries are plain JSON-able summaries — the span tree is
+flattened to ``(path, depth, duration)`` rows at insertion time so the
+endpoint never serialises live :class:`~repro.obs.spans.Span` objects
+and holds no references into request state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.obs.spans import Span, span_count
+
+__all__ = ["SlowTraceRing"]
+
+
+class SlowTraceRing:
+    """Bounded ring of recent request traces, queryable by duration."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._seen = 0
+
+    def record(self, root: Span, endpoint: str, status: int) -> None:
+        """Flatten and retain one completed request trace."""
+        entry = {
+            "trace_id": root.trace_id,
+            "endpoint": endpoint,
+            "status": status,
+            "duration_s": root.duration,
+            "spans": span_count(root),
+            "tree": [
+                {
+                    "path": path,
+                    "depth": depth,
+                    "duration_s": span.duration,
+                    "counters": dict(span.counters),
+                }
+                for path, depth, span in root.walk()
+            ],
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self._seen += 1
+
+    def slowest(self, k: int = 10) -> dict[str, Any]:
+        """Top-``k`` retained traces by duration, slowest first."""
+        with self._lock:
+            retained = list(self._ring)
+            seen = self._seen
+        retained.sort(key=lambda entry: entry["duration_s"], reverse=True)
+        return {
+            "capacity": self.capacity,
+            "retained": len(retained),
+            "seen": seen,
+            "traces": retained[: max(0, int(k))],
+        }

@@ -459,7 +459,7 @@ class TestObservabilityFlags:
             == 0
         )
         payload = json.loads(metrics_path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["counters"]["matrix.ruam_nnz"] == 6
         assert "matrix_build" in payload["timings_seconds"]
         assert payload["total_seconds"] > 0
@@ -482,3 +482,112 @@ class TestObservabilityFlags:
         payload = json.loads(capsys.readouterr().out)
         assert payload["config"]["finder"] == "cooccurrence"
         assert payload["metrics"]["workers"]["mode"] == "serial"
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_path(self, dataset_path, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(["analyze", str(dataset_path), "--trace-out", str(path)]) == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def test_bare_trace_prints_help(self, capsys):
+        assert main(["trace"]) == 2
+        assert "summarize" in capsys.readouterr().out
+
+    def test_summarize_text(self, trace_path, capsys):
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "traces: 1" in out
+        assert "critical path:" in out
+        assert "engine.analyze" in out
+
+    def test_summarize_json_and_top(self, trace_path, capsys):
+        assert (
+            main(["trace", "summarize", str(trace_path), "--json", "--top", "3"])
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["traces"] == 1
+        assert summary["orphan_spans"] == 0
+        assert len(summary["slowest"]) == 3
+        assert summary["per_trace"][0]["critical_path"][0]["name"] == (
+            "engine.analyze"
+        )
+
+    def test_summarize_exit_1_on_orphans(self, trace_path, capsys):
+        doctored = []
+        for raw in trace_path.read_text().splitlines():
+            event = json.loads(raw)
+            if event.get("event") == "span" and event.get("span_id") == 2:
+                event["parent_id"] = 999
+            doctored.append(json.dumps(event))
+        trace_path.write_text("\n".join(doctored) + "\n")
+        assert main(["trace", "summarize", str(trace_path)]) == 1
+
+    def test_flame_to_file(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "flame.collapsed"
+        assert (
+            main(["trace", "flame", str(trace_path), "-o", str(out)]) == 0
+        )
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert weight.isdigit()
+            assert stack.split(";")[0] == "engine.analyze"
+
+    def test_flame_to_stdout(self, trace_path, capsys):
+        assert main(["trace", "flame", str(trace_path)]) == 0
+        assert "engine.analyze" in capsys.readouterr().out
+
+    def test_diff(self, trace_path, dataset_path, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        assert (
+            main(
+                [
+                    "analyze", str(dataset_path), "--finder", "dbscan",
+                    "--trace-out", str(other),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["trace", "diff", str(trace_path), str(other), "--json"]) == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        # dbscan spans exist only on the after side.
+        assert by_name["finder:dbscan"]["count_before"] == 0
+        assert by_name["finder:dbscan"]["count_after"] >= 1
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeObservabilityFlags:
+    def test_slo_and_tracez_flags_parse(self, dataset_path):
+        from repro.cli.main import _build_parser as build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(dataset_path), "--slo-target", "0.5",
+                "--slo-window", "50", "--slo-budget", "0.2",
+                "--tracez-capacity", "16",
+            ]
+        )
+        assert args.slo_target == 0.5
+        assert args.slo_window == 50
+        assert args.slo_budget == 0.2
+        assert args.tracez_capacity == 16
+
+    def test_slo_defaults_off(self, dataset_path):
+        from repro.cli.main import _build_parser as build_parser
+
+        args = build_parser().parse_args(["serve", str(dataset_path)])
+        assert args.slo_target is None

@@ -161,7 +161,7 @@ class TestMetricsRendering:
     def test_to_dict_carries_metrics(self, report):
         payload = json.loads(report.to_json())
         metrics = payload["metrics"]
-        assert metrics["schema"] == 1
+        assert metrics["schema"] == 2
         assert metrics["spans"] > 0
         assert metrics["counters"]["findings"] == payload["n_findings"]
         assert metrics["workers"]["mode"] == "serial"

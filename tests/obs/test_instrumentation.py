@@ -95,7 +95,7 @@ class TestSerialSpanTree:
 
     def test_engine_without_recorder_still_populates_metrics(self, paper_example):
         report = analyze(paper_example)
-        assert report.metrics["schema"] == 1
+        assert report.metrics["schema"] == 2
         assert report.metrics["spans"] > 0
         assert report.metrics["workers"]["mode"] == "serial"
         assert "findings" in report.metrics["counters"]
@@ -217,3 +217,109 @@ class TestEmptyState:
         assert root.children[0].name == "engine.matrix_build"
         assert report.timings["matrix_build"] >= 0.0
         assert recorder.counter_totals()["findings"] == 0
+
+
+class TestHistogramTelemetry:
+    def test_serial_report_has_histograms(self, paper_example):
+        report, _, _ = _trace(paper_example)
+        histograms = report.metrics["histograms"]
+        # One observation per detector span in serial mode.
+        assert histograms["detector.seconds"]["count"] == 5
+        blocks = histograms["cooccurrence.block_seconds"]
+        assert blocks["count"] >= 2  # at least one block per axis
+        assert blocks["p50"] is not None
+        assert blocks["min"] <= blocks["p50"] <= blocks["p99"] <= blocks["max"]
+
+    def test_parallel_observations_merge_without_loss(self, paper_example):
+        serial_report, _, _ = _trace(paper_example, n_workers=1)
+        parallel_report, _, _ = _trace(paper_example, n_workers=2)
+        serial_hist = serial_report.metrics["histograms"]
+        parallel_hist = parallel_report.metrics["histograms"]
+        # Blocks are scanned in the parent's warm phase on both paths:
+        # observation counts match exactly.
+        assert (
+            parallel_hist["cooccurrence.block_seconds"]["count"]
+            == serial_hist["cooccurrence.block_seconds"]["count"]
+        )
+        # The parallel path observes once per (detector, axis) work
+        # item — all 7 worker-side observations travel back inside the
+        # grafted fragments, none lost.
+        assert parallel_hist["detector.seconds"]["count"] == 7
+
+    def test_parallel_histogram_counts_deterministic(self, paper_example):
+        first, _, _ = _trace(paper_example, n_workers=2)
+        second, _, _ = _trace(paper_example, n_workers=2)
+        counts_of = lambda report: {
+            name: summary["count"]
+            for name, summary in report.metrics["histograms"].items()
+        }
+        assert counts_of(first) == counts_of(second)
+
+
+class TestTraceCorrelation:
+    def test_trace_gets_an_id(self, paper_example):
+        _, root, _ = _trace(paper_example)
+        assert root.trace_id and len(root.trace_id) == 32
+
+    def test_pinned_trace_id_propagates(self, paper_example):
+        recorder = Recorder(trace_id="pinned-id")
+        _, root, _ = _trace(paper_example, recorder=recorder)
+        assert root.trace_id == "pinned-id"
+
+    def test_parallel_trace_stitches_with_zero_orphans(
+        self, paper_example, tmp_path
+    ):
+        import io
+
+        from repro.obs import (
+            JsonlTraceSink,
+            load_trace_file,
+            validate_trace_lines,
+        )
+
+        buffer = io.StringIO()
+        recorder = Recorder(sinks=[JsonlTraceSink(buffer)])
+        _trace(paper_example, recorder=recorder, n_workers=2)
+        lines = buffer.getvalue().splitlines()
+        validate_trace_lines(lines)  # v2 ID integrity incl. parent links
+        out = tmp_path / "trace.jsonl"
+        out.write_text(buffer.getvalue())
+        trace = load_trace_file(out)[0]
+        assert trace.orphans == []
+        # The reconstructed tree is the tree the recorder held.
+        assert tree_signature(trace.root) == tree_signature(
+            recorder.traces[0]
+        )
+
+
+class TestRecorderOverhead:
+    """Pin the per-operation costs behind the <=1% end-to-end budget.
+
+    Absolute per-op bounds are loose enough to be stable under CI noise
+    where an end-to-end percentage comparison would flake.
+    """
+
+    def test_null_recorder_span_is_nearly_free(self):
+        import time
+
+        from repro.obs import NULL_RECORDER
+
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with NULL_RECORDER.span("x"):
+                pass
+        per_op = (time.perf_counter() - start) / n
+        assert per_op < 20e-6  # a real span site costs ~ms of work
+
+    def test_observe_is_nearly_free(self):
+        import time
+
+        recorder = Recorder()
+        n = 20_000
+        start = time.perf_counter()
+        for i in range(n):
+            recorder.observe("lat", i * 1e-6)
+        per_op = (time.perf_counter() - start) / n
+        assert per_op < 50e-6
+        assert recorder.registry.histogram("lat").count == n

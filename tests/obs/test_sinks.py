@@ -178,3 +178,63 @@ class TestTraceValidator:
         lines[2] = json.dumps(span)
         with pytest.raises(TraceSchemaError):
             validate_trace_lines(lines)
+
+    def _edit_span(self, lines: list[str], index: int, **changes) -> list[str]:
+        span = json.loads(lines[index])
+        span.update(changes)
+        lines[index] = json.dumps(span)
+        return lines
+
+    def test_rejects_wrong_trace_id_on_span(self):
+        lines = self._edit_span(self._valid_lines(), 2, trace_id="deadbeef")
+        with pytest.raises(TraceSchemaError, match="line 3.*trace_id"):
+            validate_trace_lines(lines)
+
+    def test_rejects_out_of_order_span_id(self):
+        lines = self._edit_span(self._valid_lines(), 2, span_id=7)
+        with pytest.raises(TraceSchemaError, match="span_id"):
+            validate_trace_lines(lines)
+
+    def test_rejects_root_with_parent(self):
+        lines = self._edit_span(self._valid_lines(), 1, parent_id=0)
+        with pytest.raises(TraceSchemaError, match="parent_id"):
+            validate_trace_lines(lines)
+
+    def test_rejects_dangling_parent_link(self):
+        lines = self._edit_span(self._valid_lines(), 2, parent_id=42)
+        with pytest.raises(TraceSchemaError, match="dangling"):
+            validate_trace_lines(lines)
+
+    def test_rejects_parent_at_wrong_depth(self):
+        # "child2" (pre-order id 2) claims "child" (id 1, depth 1) as its
+        # parent while staying at depth 1 itself.
+        lines = self._edit_span(self._valid_lines(), 3, parent_id=1)
+        with pytest.raises(TraceSchemaError, match="depth"):
+            validate_trace_lines(lines)
+
+    def test_error_messages_carry_line_numbers(self):
+        lines = self._edit_span(self._valid_lines(), 3, parent_id=42)
+        with pytest.raises(TraceSchemaError, match=r"^line 4: "):
+            validate_trace_lines(lines)
+
+    def test_accepts_schema_v1_files(self):
+        # Strip every v2 field back to the v1 layout.
+        lines = []
+        for raw in self._valid_lines():
+            event = json.loads(raw)
+            event.pop("trace_id", None)
+            event.pop("span_id", None)
+            event.pop("parent_id", None)
+            if event["event"] == "trace_start":
+                event["schema"] = 1
+            lines.append(json.dumps(event))
+        summary = validate_trace_lines(lines)
+        assert summary == {"traces": 1, "spans": 3}
+
+    def test_rejects_unknown_schema_version(self):
+        lines = self._valid_lines()
+        start = json.loads(lines[0])
+        start["schema"] = 99
+        lines[0] = json.dumps(start)
+        with pytest.raises(TraceSchemaError, match="schema"):
+            validate_trace_lines(lines)

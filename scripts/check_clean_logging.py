@@ -25,7 +25,8 @@ from pathlib import Path
 #: the walk silently missing a layer (e.g. after a package rename).
 #: ``service`` matters most: a daemon that prints to stdout corrupts
 #: nothing visibly but interleaves garbage into supervisor logs.
-REQUIRED_PACKAGES = ("core", "obs", "parallel", "service")
+#: ``jobs`` is in the same boat — workers run under supervisors too.
+REQUIRED_PACKAGES = ("core", "jobs", "obs", "parallel", "service")
 
 
 def violations_in(path: Path) -> list[tuple[int, str]]:

@@ -1,20 +1,32 @@
 #!/usr/bin/env python
-"""Lint: detectors must read co-occurrence data through the workspace.
+"""Lint: co-occurrence data must be read through the workspace.
 
-Walks every module under ``src/repro/core/detectors/`` and fails when it
-finds a direct call to ``cooccurrence(...)`` (or any reference to
+Walks every module under the checked roots and fails when it finds a
+direct call to ``cooccurrence(...)`` (or any reference to
 ``bitmatrix.cooccurrence`` / an import of it).  Computing ``M·Mᵀ``
-inline is exactly the drift this rule guards against: every detector
+inline is exactly the drift this rule guards against: every consumer
 that needs candidate pairs must go through
 :class:`repro.core.workspace.AxisWorkspace` (``matched_pairs`` /
 ``subset_pairs``), so the product stays one blocked, memoised pass per
 axis — recomputing it privately silently discards the memory bound and
 the exactly-once guarantee asserted by the parity suite.
 
+Two roots are checked by default:
+
+* ``src/repro/core/detectors`` — the original rule: detectors are the
+  natural place for this drift to creep in.
+* ``src/repro/jobs`` — the job plane executes analyses in worker
+  processes; a worker-side shortcut around the engine would bypass the
+  workspace exactly where nobody is watching.
+
+Every default root is *required*: a root that is missing, or walks zero
+modules, fails the lint — so a package rename cannot silently drop a
+layer out of coverage.
+
 AST-based (not grep) so comments, docstrings, and the word
 "co-occurrence" in prose never false-positive.
 
-Usage: ``python scripts/check_workspace_discipline.py [DETECTORS_DIR]``
+Usage: ``python scripts/check_workspace_discipline.py [DIR ...]``
 Exit code 0 when clean, 1 with one ``file:line`` diagnostic per hit.
 """
 
@@ -25,6 +37,12 @@ import sys
 from pathlib import Path
 
 BANNED = "cooccurrence"
+
+#: Roots walked (and required to be non-empty) when none are given.
+DEFAULT_ROOTS = (
+    "src/repro/core/detectors",
+    "src/repro/jobs",
+)
 
 
 def violations_in(path: Path) -> list[tuple[int, str]]:
@@ -51,25 +69,39 @@ def violations_in(path: Path) -> list[tuple[int, str]]:
 
 
 def main(argv: list[str]) -> int:
-    root = Path(argv[0]) if argv else Path("src/repro/core/detectors")
-    if not root.is_dir():
-        print(f"error: {root} is not a directory", file=sys.stderr)
-        return 2
+    roots = [Path(arg) for arg in argv] if argv else [
+        Path(root) for root in DEFAULT_ROOTS
+    ]
     status = 0
     checked = 0
-    for path in sorted(root.rglob("*.py")):
-        checked += 1
-        for lineno, message in violations_in(path):
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+        walked = 0
+        for path in sorted(root.rglob("*.py")):
+            checked += 1
+            walked += 1
+            for lineno, message in violations_in(path):
+                print(
+                    f"{path}:{lineno}: {message} — candidate pairs must "
+                    "come from the AxisWorkspace "
+                    "(matched_pairs / subset_pairs)",
+                    file=sys.stderr,
+                )
+                status = 1
+        if walked == 0:
+            # A required root with no modules means the walk is no
+            # longer covering that layer — fail loudly, never silently.
             print(
-                f"{path}:{lineno}: {message} — candidate pairs must come "
-                "from the AxisWorkspace (matched_pairs / subset_pairs)",
+                f"error: lint walked no modules under {root}",
                 file=sys.stderr,
             )
             status = 1
     if status == 0:
         print(
             "clean: no direct cooccurrence access in "
-            f"{checked} detector modules"
+            f"{checked} modules across {len(roots)} roots"
         )
     return status
 

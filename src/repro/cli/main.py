@@ -30,7 +30,13 @@ Subcommands
 ``serve``
     Run the long-running analysis service: an HTTP/JSON daemon with
     mutation ingestion, report caching, backpressure, and graceful
-    drain (see docs/ARCHITECTURE.md).
+    drain (see docs/ARCHITECTURE.md).  With ``--execution queue`` the
+    daemon enqueues analyses onto a durable job plane instead of
+    computing them in-process.
+``work``
+    Attach N worker processes to a shared job-queue file (the consumer
+    side of ``serve --execution queue``); workers claim leased jobs,
+    heartbeat, and survive SIGTERM by finishing or releasing cleanly.
 ``trace``
     Analyse JSONL trace files written by ``--trace-out``: ``summarize``
     (span trees, critical path, slowest spans), ``flame`` (collapsed
@@ -479,7 +485,102 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="recent request traces retained for GET /tracez",
     )
+    serve_parser.add_argument(
+        "--execution",
+        default="inline",
+        choices=("inline", "queue"),
+        help="analyze execution mode: compute in-process (inline, "
+        "default) or enqueue onto the durable job plane (queue; "
+        "requires --jobs and attached 'repro work' workers)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        metavar="FILE.sqlite",
+        default=None,
+        help="shared job-queue database file (required with "
+        "--execution queue; survives restarts)",
+    )
+    serve_parser.add_argument(
+        "--job-lease",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="job lease duration; a worker that stops heartbeating "
+        "loses its claim after this long",
+    )
+    serve_parser.add_argument(
+        "--job-max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="claims a job may consume before it is dead-lettered",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    work_parser = sub.add_parser(
+        "work",
+        help="attach worker processes to a shared job-queue file",
+    )
+    work_parser.add_argument(
+        "queue", metavar="FILE.sqlite", help="shared job-queue database file"
+    )
+    work_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to attach (1 = run in this process)",
+    )
+    work_parser.add_argument(
+        "--lease",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="lease duration (match the serving daemon's --job-lease)",
+    )
+    work_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="claims a job may consume before it is dead-lettered",
+    )
+    work_parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle sleep between empty claim attempts",
+    )
+    work_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N jobs (default: run until signalled)",
+    )
+    work_parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long without claiming a job "
+        "(default: run until signalled)",
+    )
+    work_parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="log per-job span records via stdlib logging",
+    )
+    work_parser.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="stream per-job traces as JSON Lines (trace IDs stitch "
+        "into the enqueuing requests' traces)",
+    )
+    work_parser.set_defaults(handler=_cmd_work)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -900,6 +1001,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_window=args.slo_window,
         slo_budget_fraction=args.slo_budget,
         tracez_capacity=args.tracez_capacity,
+        execution=args.execution,
+        jobs_path=args.jobs,
+        job_lease_seconds=args.job_lease,
+        job_max_attempts=args.job_max_attempts,
         analysis=analysis,
     )
 
@@ -942,6 +1047,141 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         print("drained")
     return 0
+
+
+def _work_process_main(queue_path: str, index: int, options: dict) -> None:
+    """Entry point of one spawned ``repro work`` child process.
+
+    Installs its own SIGTERM/SIGINT handlers (signal → stop event → the
+    worker finishes or releases its current job, then exits) and runs
+    one worker loop to completion.
+    """
+    import signal
+    import threading
+
+    from repro.jobs import default_worker_id, run_worker
+    from repro.obs import JsonlTraceSink
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 (signal signature)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    sinks = []
+    trace_sink = None
+    trace_out = options.get("trace_out")
+    if trace_out:
+        # One trace file per worker process — concurrent appends from
+        # several processes would interleave mid-record.
+        trace_sink = JsonlTraceSink(f"{trace_out}.{index}")
+        sinks.append(trace_sink)
+    try:
+        run_worker(
+            queue_path,
+            worker_id=default_worker_id(),
+            lease_seconds=options["lease"],
+            max_attempts=options["max_attempts"],
+            poll_seconds=options["poll"],
+            max_jobs=options.get("max_jobs"),
+            idle_exit_seconds=options.get("idle_exit"),
+            stop_event=stop,
+            sinks=sinks,
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1 (got {args.workers})",
+              file=sys.stderr)
+        return 2
+    options = dict(
+        lease=args.lease,
+        max_attempts=args.max_attempts,
+        poll=args.poll,
+        max_jobs=args.max_jobs,
+        idle_exit=args.idle_exit,
+        trace_out=args.trace_out,
+    )
+    if args.workers == 1:
+        from repro.jobs import default_worker_id, run_worker
+
+        sinks, trace_sink = _build_obs_sinks(args)
+        stop = threading.Event()
+
+        def _request_stop(signum, frame):  # noqa: ARG001
+            stop.set()
+
+        previous_term = signal.signal(signal.SIGTERM, _request_stop)
+        previous_int = signal.signal(signal.SIGINT, _request_stop)
+        worker_id = default_worker_id()
+        print(f"worker {worker_id} attached to {args.queue}")
+        sys.stdout.flush()
+        try:
+            stats = run_worker(
+                args.queue,
+                worker_id=worker_id,
+                lease_seconds=args.lease,
+                max_attempts=args.max_attempts,
+                poll_seconds=args.poll,
+                max_jobs=args.max_jobs,
+                idle_exit_seconds=args.idle_exit,
+                stop_event=stop,
+                sinks=sinks,
+            )
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+            if trace_sink is not None:
+                trace_sink.close()
+        print(f"worker done: {stats['done']} completed, "
+              f"{stats['failed']} failed")
+        return 0
+
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    children = [
+        context.Process(
+            target=_work_process_main,
+            args=(args.queue, index, options),
+            name=f"repro-work-{index}",
+        )
+        for index in range(args.workers)
+    ]
+    for child in children:
+        child.start()
+    print(
+        f"{len(children)} workers attached to {args.queue} "
+        f"(pids: {', '.join(str(c.pid) for c in children)})"
+    )
+    sys.stdout.flush()
+
+    def _forward_stop(signum, frame):  # noqa: ARG001
+        for child in children:
+            if child.is_alive():
+                child.terminate()  # children trap SIGTERM and drain
+
+    previous_term = signal.signal(signal.SIGTERM, _forward_stop)
+    previous_int = signal.signal(signal.SIGINT, _forward_stop)
+    exit_code = 0
+    try:
+        for child in children:
+            child.join()
+            if child.exitcode not in (0, None):
+                exit_code = 1
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+    print("all workers exited")
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -154,6 +154,40 @@ class AnalysisConfig:
             "kernel": self.kernel,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AnalysisConfig":
+        """Rebuild a configuration from its :meth:`to_dict` payload.
+
+        The inverse that lets an analysis cross a process (or machine)
+        boundary as JSON — the job plane ships configs this way — with
+        ``__post_init__`` re-validating on the far side.  Unknown keys
+        are rejected so schema drift fails loudly.
+        """
+        known = {
+            "enabled_types", "finder", "finder_options",
+            "similarity_threshold", "axes", "collapse_duplicates",
+            "n_workers", "block_rows", "kernel",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown analysis-config key(s): {', '.join(unknown)}"
+            )
+        options = dict(payload)
+        try:
+            if "enabled_types" in options:
+                options["enabled_types"] = tuple(
+                    InefficiencyType(value)
+                    for value in options["enabled_types"]
+                )
+            if "axes" in options:
+                options["axes"] = tuple(
+                    Axis(value) for value in options["axes"]
+                )
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
+        return cls(**options)
+
 
 def effective_scan_workers(config: AnalysisConfig) -> int:
     """Resolved worker count the blocked scans will use under ``config``.

@@ -39,6 +39,43 @@ class Report:
     metrics: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any], state: RbacState
+    ) -> "Report":
+        """Rebuild a report from its :meth:`to_dict` payload.
+
+        The inverse serialisation used when a report crosses a process
+        boundary as JSON — a queue worker computes and ships
+        ``report.to_dict()``; the service reattaches its own ``state``
+        (the payload only carries dataset *counts*) and gets live
+        findings back for diffing and rendering.  Derived sections of
+        the payload (``counts``, ``consolidation``, ``n_findings``) are
+        not stored — they are recomputed from the findings, so a
+        reconstructed report re-serialises byte-identically.
+        """
+        from repro.core.engine import AnalysisConfig
+
+        config_payload = payload.get("config")
+        return cls(
+            state=state,
+            findings=[
+                Finding.from_dict(item)
+                for item in payload.get("findings", [])
+            ],
+            timings=dict(payload.get("timings_seconds", {})),
+            total_seconds=payload.get("total_seconds", 0.0),
+            config=(
+                AnalysisConfig.from_dict(config_payload)
+                if config_payload is not None
+                else None
+            ),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+    # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
     def of_type(self, kind: InefficiencyType) -> list[Finding]:

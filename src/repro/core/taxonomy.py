@@ -162,6 +162,37 @@ class Finding:
             }
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from its :meth:`to_dict` payload.
+
+        Round-trip inverse (``Finding.from_dict(f.to_dict()) == f``):
+        lets reports cross process boundaries as JSON — the job plane's
+        workers ship serialised reports back to the service, which needs
+        real :class:`Finding` objects again for diffing and rendering.
+        """
+        group_payload = payload.get("group")
+        group = (
+            RoleGroup(
+                role_ids=tuple(group_payload["role_ids"]),
+                axis=Axis(group_payload["axis"]),
+                max_differences=group_payload["max_differences"],
+            )
+            if group_payload is not None
+            else None
+        )
+        axis_value = payload.get("axis")
+        return cls(
+            type=InefficiencyType(payload["type"]),
+            entity_kind=EntityKind(payload["entity_kind"]),
+            entity_ids=tuple(payload["entity_ids"]),
+            severity=Severity(payload["severity"]),
+            message=payload["message"],
+            axis=Axis(axis_value) if axis_value is not None else None,
+            group=group,
+            details=dict(payload.get("details", {})),
+        )
+
 
 def sort_findings(findings: Sequence[Finding]) -> list[Finding]:
     """Order findings for review: highest severity first, then by type and

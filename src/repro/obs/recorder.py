@@ -106,6 +106,8 @@ class NullRecorder:
 
     enabled: bool = False
     measure_memory: bool = False
+    #: Mirrors :attr:`Recorder.trace_id` so callers can read it blindly.
+    trace_id: str | None = None
 
     def __init__(self) -> None:
         self._null_span = _NullSpan()
@@ -221,6 +223,17 @@ class Recorder:
         self._origin = 0.0
         #: Completed top-level spans, oldest first.
         self.traces: list[Span] = []
+
+    @property
+    def trace_id(self) -> str | None:
+        """The fixed correlation ID stamped on completed traces.
+
+        ``None`` when the recorder generates a fresh ID per trace.  The
+        service reads this to propagate a request's ``X-Trace-Id`` into
+        enqueued job records, so worker-side traces stitch into the
+        request's tree.
+        """
+        return self._trace_id
 
     # ------------------------------------------------------------------
     # Recording

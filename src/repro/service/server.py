@@ -29,8 +29,11 @@ Endpoints::
 
     POST /v1/mutations       apply a batched mutation delta (atomic)
     GET  /v1/counts          live inefficiency counts (incremental)
-    POST /v1/analyze         full report (cached + coalesced)
+    POST /v1/analyze         full report (cached + coalesced); with
+                             ``execution="queue"``: 202 + job id
     GET  /v1/reports/latest  scheduler's latest report + diff
+    GET  /v1/jobs            job-plane stats (queue mode)
+    GET  /v1/jobs/{id}       job status + result once done (queue mode)
     GET  /healthz            liveness (503 while draining or SLO-degraded)
     GET  /metricz            counters, latency histograms, cache/queue/SLO
                              stats (?format=prometheus for text exposition)
@@ -44,6 +47,7 @@ client can join its own logs to the service's exported traces.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
@@ -58,7 +62,14 @@ from repro.core.incremental import IncrementalAuditor
 from repro.core.report import Report
 from repro.core.state import RbacState
 from repro.exceptions import ConfigurationError, ReproError
-from repro.obs import MetricRegistry, Recorder, new_trace_id, use_recorder
+from repro.jobs import JobClient, JobQueue
+from repro.obs import (
+    MetricRegistry,
+    Recorder,
+    current_recorder,
+    new_trace_id,
+    use_recorder,
+)
 from repro.parallel import WorkerPool, use_pool
 from repro.service.cache import ReportCache
 from repro.service.slo import SloTracker
@@ -117,6 +128,25 @@ class ServiceConfig:
         SLO window parameters (see :class:`repro.service.slo.SloTracker`).
     tracez_capacity:
         How many recent request traces ``GET /tracez`` retains.
+    execution:
+        ``"inline"`` (default) computes analyses on request threads;
+        ``"queue"`` enqueues them onto the durable job plane instead —
+        ``POST /v1/analyze`` returns ``202`` + a job id, workers
+        attached via ``repro work`` execute, and ``GET /v1/jobs/{id}``
+        serves status/result.  Requires ``jobs_path``.
+    jobs_path:
+        The shared sqlite queue file (see :mod:`repro.jobs`).  The file
+        survives restarts: stale leases from a dead daemon or worker are
+        reaped on warm start.
+    job_lease_seconds / job_max_attempts / job_backoff_seconds:
+        Lease duration, retry budget, and backoff base for enqueued
+        jobs (see :class:`repro.jobs.JobQueue`).
+    job_reap_seconds:
+        Interval of the service's background reaper sweep (defaults to
+        half the lease).
+    job_refresh_timeout_seconds:
+        How long the background refresh scheduler waits for a queued
+        analysis before giving up the cycle.
     analysis:
         Default :class:`AnalysisConfig` for ``POST /v1/analyze`` and the
         scheduler; its ``similarity_threshold`` also parameterises the
@@ -137,6 +167,13 @@ class ServiceConfig:
     slo_budget_fraction: float = 0.1
     slo_min_samples: int = 10
     tracez_capacity: int = 64
+    execution: str = "inline"
+    jobs_path: str | Path | None = None
+    job_lease_seconds: float = 15.0
+    job_max_attempts: int = 3
+    job_backoff_seconds: float = 0.5
+    job_reap_seconds: float | None = None
+    job_refresh_timeout_seconds: float = 300.0
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
 
     def __post_init__(self) -> None:
@@ -161,6 +198,40 @@ class ServiceConfig:
         if self.tracez_capacity < 1:
             raise ConfigurationError(
                 f"tracez_capacity must be >= 1 (got {self.tracez_capacity})"
+            )
+        if self.execution not in ("inline", "queue"):
+            raise ConfigurationError(
+                f'execution must be "inline" or "queue" '
+                f"(got {self.execution!r})"
+            )
+        if self.execution == "queue" and not self.jobs_path:
+            raise ConfigurationError(
+                'execution "queue" requires jobs_path (the shared queue '
+                "database file)"
+            )
+        if self.job_lease_seconds <= 0:
+            raise ConfigurationError(
+                "job_lease_seconds must be > 0 "
+                f"(got {self.job_lease_seconds})"
+            )
+        if self.job_max_attempts < 1:
+            raise ConfigurationError(
+                f"job_max_attempts must be >= 1 (got {self.job_max_attempts})"
+            )
+        if self.job_backoff_seconds < 0:
+            raise ConfigurationError(
+                "job_backoff_seconds must be >= 0 "
+                f"(got {self.job_backoff_seconds})"
+            )
+        if self.job_reap_seconds is not None and self.job_reap_seconds <= 0:
+            raise ConfigurationError(
+                "job_reap_seconds must be > 0 when set "
+                f"(got {self.job_reap_seconds})"
+            )
+        if self.job_refresh_timeout_seconds <= 0:
+            raise ConfigurationError(
+                "job_refresh_timeout_seconds must be > 0 "
+                f"(got {self.job_refresh_timeout_seconds})"
             )
 
 
@@ -217,6 +288,21 @@ class AnalysisService:
             else None
         )
         self._tracez = SlowTraceRing(self.config.tracez_capacity)
+        #: The durable job plane (queue mode only).  The service is a
+        #: *producer* plus reaper: execution happens in worker processes
+        #: attached separately via ``repro work``; the sqlite file is
+        #: the only shared artifact, so it survives daemon restarts.
+        self._jobs: JobClient | None = None
+        self._job_reaper: threading.Thread | None = None
+        self._job_reaper_stop = threading.Event()
+        if self.config.execution == "queue":
+            queue = JobQueue(
+                self.config.jobs_path,
+                lease_seconds=self.config.job_lease_seconds,
+                max_attempts=self.config.job_max_attempts,
+                backoff_seconds=self.config.job_backoff_seconds,
+            )
+            self._jobs = JobClient(queue)
         self._scheduler = RefreshScheduler(
             self._refresh_runner,
             refresh_mutations=self.config.refresh_mutations,
@@ -241,10 +327,34 @@ class AnalysisService:
         scan_workers = effective_scan_workers(self.config.analysis)
         if scan_workers > 1:
             self._pool = WorkerPool(scan_workers)
+        if self._jobs is not None:
+            # Warm-restart recovery: leases held by a previous (dead)
+            # daemon or its workers are reaped before anything else runs,
+            # then a background sweep keeps recovering while we serve.
+            self._jobs.queue.reap_expired()
+            interval = (
+                self.config.job_reap_seconds
+                if self.config.job_reap_seconds is not None
+                else self.config.job_lease_seconds / 2
+            )
+            self._job_reaper = threading.Thread(
+                target=self._reap_loop,
+                args=(interval,),
+                name="repro-service-job-reaper",
+                daemon=True,
+            )
+            self._job_reaper.start()
         if self.config.warm_start:
-            report, fingerprint, seq = self._refresh_runner()
+            # Warm start computes inline even in queue mode: at startup
+            # no worker may be attached yet, and the warm analysis exists
+            # to heat this process's matrices and cache.
+            report, fingerprint, seq = self._refresh_runner(inline=True)
             self._scheduler.prime(report, fingerprint, seq)
         self._scheduler.start()
+
+    def _reap_loop(self, interval: float) -> None:
+        while not self._job_reaper_stop.wait(interval):
+            self._jobs.queue.reap_expired()
 
     @property
     def is_draining(self) -> bool:
@@ -261,6 +371,15 @@ class AnalysisService:
         mutating the state anymore).
         """
         self._scheduler.stop()
+        if self._job_reaper is not None:
+            self._job_reaper_stop.set()
+            self._job_reaper.join(timeout=10)
+            self._job_reaper = None
+        if self._jobs is not None:
+            # Close connections only — the queue *file* outlives the
+            # daemon (that is the durability contract); workers hold
+            # their own connections and keep running.
+            self._jobs.queue.close()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -286,6 +405,11 @@ class AnalysisService:
     @property
     def cache(self) -> ReportCache:
         return self._cache
+
+    @property
+    def jobs(self) -> JobClient | None:
+        """The job client (``None`` unless ``execution="queue"``)."""
+        return self._jobs
 
     @property
     def mutation_seq(self) -> int:
@@ -326,7 +450,12 @@ class AnalysisService:
         started = time.monotonic()
         parts = urlsplit(path)
         route, query = parts.path, parts.query
-        endpoint = f"{method} {route}"
+        # Job-status routes embed the job id; collapse it so the
+        # per-endpoint histogram/SLO label space stays bounded.
+        if route.startswith("/v1/jobs/"):
+            endpoint = f"{method} /v1/jobs/{{id}}"
+        else:
+            endpoint = f"{method} {route}"
         trace_id = (trace_id_header or "").strip() or new_trace_id()
         recorder = Recorder(trace_id=trace_id)
         headers: dict[str, str] = {}
@@ -423,6 +552,14 @@ class AnalysisService:
                 if method != "GET":
                     return self._method_not_allowed("GET")
                 return self._handle_latest_report()
+            if route == "/v1/jobs":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._handle_jobs_overview()
+            if route.startswith("/v1/jobs/"):
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._handle_job_status(route[len("/v1/jobs/"):])
             return 404, {"error": f"no such endpoint: {route}"}, {}
         finally:
             with self._obs_lock:
@@ -497,14 +634,25 @@ class AnalysisService:
             in_flight = self._in_flight
             rejected = self._rejected
         uptime = time.monotonic() - self._started_monotonic
+        job_stats = (
+            self._jobs.queue.stats() if self._jobs is not None else None
+        )
         if exposition == "prometheus":
+            extra_gauges = {
+                "service.uptime_seconds": uptime,
+                "service.in_flight": in_flight,
+                "service.rejected": rejected,
+            }
+            if job_stats is not None:
+                # jobs.claimed / jobs.lease_expired / ... counters plus
+                # one gauge per queue state, all from the durable tables
+                # (exact across every process sharing the queue file).
+                counters = {**counters, **job_stats["counters"]}
+                for state_name, count in job_stats["states"].items():
+                    extra_gauges[f"jobs.state_{state_name}"] = count
             text = self._registry.prometheus_text(
                 extra_counters=counters,
-                extra_gauges={
-                    "service.uptime_seconds": uptime,
-                    "service.in_flight": in_flight,
-                    "service.rejected": rejected,
-                },
+                extra_gauges=extra_gauges,
             )
             return 200, text, {}
         # Per-endpoint latency quantiles come from the labelled
@@ -531,6 +679,8 @@ class AnalysisService:
             },
             "scheduler": self._scheduler.stats(),
         }
+        if job_stats is not None:
+            payload["jobs"] = job_stats
         if self._slo is not None:
             payload["slo"] = self._slo.status()
         return 200, payload, {}
@@ -576,10 +726,14 @@ class AnalysisService:
         overrides = self._parse_json(body) if body.strip() else None
         effective = build_analysis_config(self.config.analysis, overrides)
         fingerprint, snapshot, seq = self._freeze_state()
-        key = (fingerprint, config_key(effective))
         remaining = deadline_at - time.monotonic()
         if remaining <= 0:
             raise DeadlineExceeded("deadline elapsed before analysis began")
+        if self._jobs is not None:
+            return self._enqueue_analyze(
+                effective, fingerprint, snapshot, seq, remaining
+            )
+        key = (fingerprint, config_key(effective))
         (report, payload), source = self._cache.get_or_compute(
             key,
             lambda: self._compute(snapshot, effective),
@@ -605,6 +759,96 @@ class AnalysisService:
         if latest is None:
             return 404, {"error": "no report published yet"}, {}
         return 200, latest, {}
+
+    # ------------------------------------------------------------------
+    # Job-plane endpoints (queue execution mode)
+    # ------------------------------------------------------------------
+    def _enqueue_analyze(
+        self,
+        effective: AnalysisConfig,
+        fingerprint: str,
+        snapshot: RbacState,
+        seq: int,
+        remaining: float,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Queue-mode ``POST /v1/analyze``: enqueue and answer 202.
+
+        The job's identity is ``(state fingerprint, config key)`` — the
+        same identity the report cache uses, so two requests for the
+        same analysis share one queue row (idempotent enqueue) exactly
+        as they would share one cache entry inline.  The request's
+        remaining deadline becomes the job's queue-visible ``expires_at``
+        (wall clock — comparable across worker processes), so workers
+        skip, and the reaper fails, jobs nobody is waiting for anymore.
+        The request's trace ID rides along in the record: the executing
+        worker stamps it on its ``jobs.run`` trace, stitching the
+        worker-side fragment into this request's trace tree.
+        """
+        from repro.io.jsonio import state_to_dict
+
+        spec_key = hashlib.sha256(
+            f"{fingerprint}|{config_key(effective)}".encode("utf-8")
+        ).hexdigest()
+        record, created = self._jobs.enqueue(
+            "analyze",
+            {
+                "state": state_to_dict(snapshot),
+                "config": effective.to_dict(),
+                "fingerprint": fingerprint,
+                "mutation_seq": seq,
+            },
+            spec_key=spec_key,
+            trace_id=current_recorder().trace_id,
+            expires_at=time.time() + remaining,
+        )
+        self._bump(
+            "service.analyze_enqueued" if created
+            else "service.analyze_dedup",
+            1,
+        )
+        return (
+            202,
+            {
+                "job_id": record.job_id,
+                "state": record.state,
+                "created": created,
+                "fingerprint": fingerprint,
+                "mutation_seq": seq,
+                "poll": f"/v1/jobs/{record.job_id}",
+            },
+            {},
+        )
+
+    def _require_jobs(self) -> JobClient:
+        if self._jobs is None:
+            raise ProtocolError(
+                'job endpoints require execution "queue" '
+                "(start the service with --execution queue)"
+            )
+        return self._jobs
+
+    def _handle_jobs_overview(
+        self,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        return 200, self._require_jobs().queue.stats(), {}
+
+    def _handle_job_status(
+        self, job_id: str
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """``GET /v1/jobs/{id}``: live status, plus the result once done.
+
+        A ``done`` job's payload embeds the worker's full result (the
+        serialised report + the fingerprint/mutation_seq it analysed),
+        so one poll both observes completion and fetches the report.
+        """
+        client = self._require_jobs()
+        record = client.queue.get(job_id, include_result=True)
+        if record is None:
+            return 404, {"error": f"no such job: {job_id}"}, {}
+        payload = record.public_dict()
+        if record.state == "done" and record.result is not None:
+            payload["result"] = record.result
+        return 200, payload, {}
 
     # ------------------------------------------------------------------
     # Analysis plumbing
@@ -646,15 +890,71 @@ class AnalysisService:
         self._bump("service.analyses", 1)
         return report, report.to_dict()
 
-    def _refresh_runner(self) -> tuple[Report, str, int]:
-        """Scheduler hook: analyse the current state with the defaults."""
+    def _refresh_runner(self, inline: bool = False) -> tuple[Report, str, int]:
+        """Scheduler hook: analyse the current state with the defaults.
+
+        In queue mode the refresh is *enqueued* like any client analysis
+        and awaited — the scheduler thread tolerates the latency, the
+        work lands on the worker fleet, and the result still flows
+        through the report cache under the same key a ``/v1/analyze``
+        for the same content would use.  ``inline=True`` (warm start)
+        forces in-process computation.
+        """
         fingerprint, snapshot, seq = self._freeze_state()
         key = (fingerprint, config_key(self.config.analysis))
-        (report, _payload), source = self._cache.get_or_compute(
-            key, lambda: self._compute(snapshot, self.config.analysis)
-        )
+        if self._jobs is not None and not inline:
+            def compute() -> tuple[Report, dict[str, Any]]:
+                return self._compute_queued(
+                    snapshot, self.config.analysis, fingerprint, seq
+                )
+        else:
+            def compute() -> tuple[Report, dict[str, Any]]:
+                return self._compute(snapshot, self.config.analysis)
+        (report, _payload), source = self._cache.get_or_compute(key, compute)
         self._bump(f"service.analyze_{source}", 1)
         return report, fingerprint, seq
+
+    def _compute_queued(
+        self,
+        snapshot: RbacState,
+        config: AnalysisConfig,
+        fingerprint: str,
+        seq: int,
+    ) -> tuple[Report, dict[str, Any]]:
+        """Run one analysis through the worker fleet and reconstruct it.
+
+        The worker ships ``report.to_dict()`` back through the queue;
+        :meth:`Report.from_payload` reattaches this process's snapshot so
+        downstream consumers (the scheduler's diff, renderers) get a live
+        report indistinguishable from an inline one.
+        """
+        from repro.io.jsonio import state_to_dict
+
+        spec_key = hashlib.sha256(
+            f"{fingerprint}|{config_key(config)}".encode("utf-8")
+        ).hexdigest()
+        self._jobs.enqueue(
+            "analyze",
+            {
+                "state": state_to_dict(snapshot),
+                "config": config.to_dict(),
+                "fingerprint": fingerprint,
+                "mutation_seq": seq,
+            },
+            spec_key=spec_key,
+            expires_at=time.time() + self.config.job_refresh_timeout_seconds,
+        )
+        result = self._jobs.wait(
+            spec_key, timeout=self.config.job_refresh_timeout_seconds
+        )
+        payload = result["report"]
+        report = Report.from_payload(payload, snapshot)
+        self._merge_counters(report.metrics.get("counters", {}))
+        self._registry.merge_histogram_dicts(
+            report.metrics.get("histograms", {})
+        )
+        self._bump("service.analyses_queued", 1)
+        return report, payload
 
     # ------------------------------------------------------------------
     # Observability plumbing

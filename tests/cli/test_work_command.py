@@ -1,0 +1,111 @@
+"""Tests for the ``repro work`` subcommand (queue worker attachment)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.jobs import JobQueue
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    path = tmp_path / "jobs.sqlite"
+    queue = JobQueue(path)
+    for n in range(3):
+        queue.enqueue("sleep", {"seconds": 0, "n": n})
+    queue.close()
+    return path
+
+
+class TestArguments:
+    def test_workers_must_be_positive(self, queue_path, capsys):
+        assert main(["work", str(queue_path), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestSingleWorker:
+    def test_drains_queue_and_reports_counts(self, queue_path, capsys):
+        assert (
+            main(
+                [
+                    "work", str(queue_path),
+                    "--max-jobs", "3",
+                    "--poll", "0.01",
+                    "--idle-exit", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"attached to {queue_path}" in out
+        assert "worker done: 3 completed, 0 failed" in out
+        queue = JobQueue(queue_path)
+        assert queue.counts_by_state()["done"] == 3
+        queue.close()
+
+    def test_idle_exit_on_empty_queue(self, tmp_path, capsys):
+        path = tmp_path / "empty.sqlite"
+        JobQueue(path).close()
+        assert (
+            main(
+                ["work", str(path), "--poll", "0.01", "--idle-exit", "0.05"]
+            )
+            == 0
+        )
+        assert "0 completed" in capsys.readouterr().out
+
+    def test_trace_out_writes_stitchable_traces(
+        self, queue_path, tmp_path, capsys
+    ):
+        trace_file = tmp_path / "worker.jsonl"
+        queue = JobQueue(queue_path)
+        queue.enqueue("sleep", {"seconds": 0, "n": 99}, trace_id="e" * 32)
+        queue.close()
+        assert (
+            main(
+                [
+                    "work", str(queue_path),
+                    "--max-jobs", "4",
+                    "--poll", "0.01",
+                    "--idle-exit", "5",
+                    "--trace-out", str(trace_file),
+                ]
+            )
+            == 0
+        )
+        events = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+        ]
+        spans = [e for e in events if e["event"] == "span"]
+        assert {s["name"] for s in spans} == {"jobs.run"}
+        # The enqueuer's trace id survives into the worker's trace file.
+        assert "e" * 32 in {e.get("trace_id") for e in events}
+
+
+class TestMultiWorker:
+    def test_two_processes_drain_the_queue(self, queue_path, capsys):
+        queue = JobQueue(queue_path)
+        for n in range(3, 8):
+            queue.enqueue("sleep", {"seconds": 0, "n": n})
+        queue.close()
+        assert (
+            main(
+                [
+                    "work", str(queue_path),
+                    "--workers", "2",
+                    "--poll", "0.01",
+                    "--idle-exit", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 workers attached" in out
+        assert "pids:" in out
+        queue = JobQueue(queue_path)
+        assert queue.counts_by_state()["done"] == 8
+        queue.close()

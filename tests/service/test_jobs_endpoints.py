@@ -1,0 +1,234 @@
+"""Queue execution mode: job-plane endpoints and scheduler integration.
+
+These tests drive ``AnalysisService.handle`` directly (no sockets) with
+``execution="queue"``; workers are attached in-process via ``run_worker``
+threads against the same queue file, exactly how ``repro work`` attaches
+processes in production.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import AnalysisConfig, analyze
+from repro.core.state import RbacState
+from repro.exceptions import ConfigurationError
+from repro.jobs import JobQueue, run_worker
+from repro.service import AnalysisService, ServiceConfig
+
+
+def sample_state() -> RbacState:
+    return RbacState.build(
+        users=[f"u{i}" for i in range(5)],
+        roles=[f"r{i}" for i in range(4)],
+        permissions=[f"p{i}" for i in range(5)],
+        user_assignments=[
+            ("r0", "u0"), ("r0", "u1"), ("r1", "u0"), ("r1", "u1"),
+            ("r2", "u2"),
+        ],
+        permission_assignments=[
+            ("r0", "p0"), ("r0", "p1"), ("r1", "p0"), ("r1", "p1"),
+            ("r2", "p2"),
+        ],
+    )
+
+
+def normalized(report_dict: dict) -> str:
+    payload = dict(report_dict)
+    for key in ("timings_seconds", "total_seconds", "metrics"):
+        payload.pop(key, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture
+def queue_service(tmp_path):
+    service = AnalysisService(
+        sample_state(),
+        ServiceConfig(
+            warm_start=False,
+            refresh_mutations=None,
+            execution="queue",
+            jobs_path=tmp_path / "jobs.sqlite",
+        ),
+    )
+    yield service
+    service.close()
+
+
+def drain_one_job(service: AnalysisService, timeout: float = 60.0) -> None:
+    """Run one worker until it completes a single job (as a thread)."""
+    done = threading.Event()
+
+    def target() -> None:
+        run_worker(
+            str(service.jobs.queue.path),
+            worker_id="test-worker",
+            max_jobs=1,
+            poll_seconds=0.01,
+            idle_exit_seconds=timeout,
+        )
+        done.set()
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=timeout)
+    assert done.is_set(), "worker did not finish a job in time"
+
+
+class TestConfigValidation:
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ConfigurationError, match="execution"):
+            ServiceConfig(execution="sidecar")
+
+    def test_queue_mode_requires_jobs_path(self):
+        with pytest.raises(ConfigurationError, match="jobs_path"):
+            ServiceConfig(execution="queue")
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"job_lease_seconds": 0},
+            {"job_max_attempts": 0},
+            {"job_backoff_seconds": -1},
+            {"job_reap_seconds": 0},
+            {"job_refresh_timeout_seconds": 0},
+        ],
+    )
+    def test_job_knobs_validated(self, tmp_path, options):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(
+                execution="queue", jobs_path=tmp_path / "q.sqlite", **options
+            )
+
+
+class TestInlineModeGuards:
+    def test_job_endpoints_require_queue_mode(self):
+        service = AnalysisService(
+            sample_state(),
+            ServiceConfig(warm_start=False, refresh_mutations=None),
+        )
+        for route in ("/v1/jobs", "/v1/jobs/abc"):
+            status, payload, _ = service.handle("GET", route)
+            assert status == 400
+            assert 'execution "queue"' in payload["error"]
+        assert service.jobs is None
+        service.close()
+
+
+class TestQueuedAnalyze:
+    def test_analyze_returns_202_and_poll_resolves_to_report(
+        self, queue_service
+    ):
+        status, payload, _ = queue_service.handle("POST", "/v1/analyze")
+        assert status == 202
+        assert payload["state"] == "queued"
+        assert payload["created"] is True
+        job_id = payload["job_id"]
+        assert payload["poll"] == f"/v1/jobs/{job_id}"
+
+        status, pending, _ = queue_service.handle("GET", payload["poll"])
+        assert status == 200
+        assert pending["state"] == "queued"
+        assert "result" not in pending
+
+        drain_one_job(queue_service)
+
+        status, finished, _ = queue_service.handle("GET", payload["poll"])
+        assert status == 200
+        assert finished["state"] == "done"
+        assert finished["attempts"] == 1
+        # The queued report is byte-identical to inline execution.
+        inline = analyze(sample_state(), AnalysisConfig())
+        assert normalized(finished["result"]["report"]) == normalized(
+            inline.to_dict()
+        )
+
+    def test_repeat_analyze_deduplicates_to_the_same_job(self, queue_service):
+        _, first, _ = queue_service.handle("POST", "/v1/analyze")
+        status, second, _ = queue_service.handle("POST", "/v1/analyze")
+        assert status == 202
+        assert second["job_id"] == first["job_id"]
+        assert second["created"] is False
+        stats = queue_service.jobs.queue.stats()
+        assert stats["states"]["queued"] == 1
+        assert stats["counters"]["jobs.deduplicated"] == 1
+
+    def test_different_config_is_a_different_job(self, queue_service):
+        _, first, _ = queue_service.handle("POST", "/v1/analyze")
+        body = json.dumps({"similarity_threshold": 2}).encode()
+        _, second, _ = queue_service.handle("POST", "/v1/analyze", body)
+        assert second["job_id"] != first["job_id"]
+        assert second["created"] is True
+
+    def test_trace_header_rides_into_the_job_record(self, queue_service):
+        trace_id = "a" * 32
+        _, payload, _ = queue_service.handle(
+            "POST", "/v1/analyze", trace_id_header=trace_id
+        )
+        record = queue_service.jobs.queue.get(payload["job_id"])
+        assert record.trace_id == trace_id
+
+    def test_deadline_becomes_queue_visible_expiry(self, queue_service):
+        _, payload, _ = queue_service.handle(
+            "POST", "/v1/analyze", deadline_header="5"
+        )
+        record = queue_service.jobs.queue.get(payload["job_id"])
+        assert record.expires_at is not None
+        assert record.expires_at <= time.time() + 5.5
+
+
+class TestJobEndpoints:
+    def test_jobs_overview_reports_queue_stats(self, queue_service):
+        queue_service.handle("POST", "/v1/analyze")
+        status, payload, _ = queue_service.handle("GET", "/v1/jobs")
+        assert status == 200
+        assert payload["states"]["queued"] == 1
+        assert payload["counters"]["jobs.enqueued"] == 1
+
+    def test_unknown_job_404(self, queue_service):
+        status, payload, _ = queue_service.handle("GET", "/v1/jobs/nope")
+        assert status == 404
+        assert "no such job" in payload["error"]
+
+    def test_metricz_exposes_job_plane(self, queue_service):
+        queue_service.handle("POST", "/v1/analyze")
+        status, payload, _ = queue_service.handle("GET", "/metricz")
+        assert status == 200
+        assert payload["jobs"]["states"]["queued"] == 1
+        status, text, _ = queue_service.handle(
+            "GET", "/metricz?format=prometheus"
+        )
+        assert status == 200
+        assert "repro_jobs_enqueued_total 1" in text
+        assert "repro_jobs_state_queued 1" in text
+
+
+class TestWarmRestartRecovery:
+    def test_start_reaps_leases_of_a_dead_daemon(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        seed = JobQueue(path, lease_seconds=15.0)
+        record, _ = seed.enqueue("sleep", {"seconds": 60})
+        # A claim from the "previous life" whose lease is already over.
+        seed.claim("dead-daemon:1", now=time.time() - 3600)
+        seed.close()
+
+        service = AnalysisService(
+            sample_state(),
+            ServiceConfig(
+                warm_start=False,
+                refresh_mutations=None,
+                execution="queue",
+                jobs_path=path,
+            ),
+        )
+        try:
+            service.start()
+            revived = service.jobs.queue.get(record.job_id)
+            assert revived.state == "queued"
+            assert service.jobs.queue.counters()["jobs.lease_expired"] == 1
+        finally:
+            service.close()
